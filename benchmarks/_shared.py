@@ -1,0 +1,92 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper.  The
+end-to-end figures (13-17) analyse the *same* eight serving runs (four
+models x {RE, CA}), so runs are computed once per pytest session and
+cached here.
+
+Scale is controlled by ``REPRO_BENCH_SESSIONS`` (default 9000 sessions, the
+paper's workload; warm-up is scaled proportionally from the paper's 10K
+turns).  Set it lower (e.g. 2000) for a quick pass — hit-rate *levels*
+shift with scale, but every comparative shape survives.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.config import (
+    EngineConfig,
+    EvictionPolicyName,
+    HardwareConfig,
+    ServingMode,
+    StoreConfig,
+    TruncationPolicyName,
+)
+from repro.engine import RunResult, ServingEngine
+from repro.models import get_model
+from repro.workload import WorkloadSpec, generate_trace
+
+N_SESSIONS = int(os.environ.get("REPRO_BENCH_SESSIONS", "9000"))
+#: The paper warms AttentionStore with the first 10K of its ~52K turns
+#: (~19 %); scale the same fraction to the configured session count.
+WARMUP_TURNS = int(N_SESSIONS * 5.75 * 10 / 52)
+MODEL_CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".model_cache")
+
+EVAL_MODEL_NAMES = ("llama-13b", "llama-65b", "llama-70b", "falcon-40b")
+
+
+@lru_cache(maxsize=1)
+def paper_trace():
+    """The ShareGPT-like workload used by the end-to-end figures."""
+    return generate_trace(WorkloadSpec(n_sessions=N_SESSIONS, seed=42))
+
+
+def build_engine(
+    model_name: str,
+    mode: ServingMode = ServingMode.CACHED,
+    store_config: StoreConfig | None = None,
+    engine_overrides: dict | None = None,
+) -> ServingEngine:
+    model = get_model(model_name)
+    overrides = dict(engine_overrides or {})
+    overrides.setdefault("batch_size", model.default_batch_size)
+    if mode is ServingMode.RECOMPUTE:
+        config = EngineConfig.recompute_baseline(**overrides)
+    else:
+        config = EngineConfig(**overrides)
+    return ServingEngine(
+        model,
+        hardware=HardwareConfig().for_model(model),
+        engine_config=config,
+        store_config=store_config,
+        warmup_turns=WARMUP_TURNS,
+    )
+
+
+@lru_cache(maxsize=None)
+def end_to_end_run(model_name: str, mode: ServingMode) -> RunResult:
+    """One end-to-end serving run at the paper's configuration (cached)."""
+    engine = build_engine(model_name, mode)
+    return engine.run(paper_trace())
+
+
+def run_with_store(
+    model_name: str,
+    store_config: StoreConfig,
+    engine_overrides: dict | None = None,
+) -> RunResult:
+    """A CA run with a custom AttentionStore configuration."""
+    engine = build_engine(
+        model_name,
+        ServingMode.CACHED,
+        store_config=store_config,
+        engine_overrides=engine_overrides,
+    )
+    return engine.run(paper_trace())
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy benchmark target exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,40 @@
+"""Figure 1b: prefill latency grows with prompt length; decode is flat.
+
+Paper setup: LLaMA-70B, batch size 8, 4 A100 GPUs.  The prefill curve
+rises with the token count while per-iteration decode latency stays almost
+constant.
+"""
+
+from repro.analysis import format_table
+from repro.config import HardwareConfig
+from repro.hardware import PerfModel
+from repro.models import get_model
+
+PROMPT_LENGTHS = (256, 512, 1024, 2048, 4096)
+BATCH = 8
+
+
+def compute_series():
+    pm = PerfModel(get_model("llama-70b"), HardwareConfig(num_gpus=4))
+    prefill = {n: pm.prefill_time(n, batch=BATCH) for n in PROMPT_LENGTHS}
+    decode = {n: pm.decode_step_time([n] * BATCH) for n in PROMPT_LENGTHS}
+    return prefill, decode
+
+
+def test_fig01_phase_latencies(benchmark):
+    prefill, decode = benchmark(compute_series)
+    rows = [
+        [n, f"{prefill[n] * 1e3:.0f}", f"{decode[n] * 1e3:.1f}"]
+        for n in PROMPT_LENGTHS
+    ]
+    print()
+    print(
+        format_table(
+            ["tokens", "prefill (ms)", "decode/iter (ms)"],
+            rows,
+            title="Figure 1b — prefill vs decode latency (LLaMA-70B, bs 8, 4xA100)",
+        )
+    )
+    # Shape: prefill scales ~linearly; decode stays within a small band.
+    assert prefill[4096] > 10 * prefill[256]
+    assert decode[4096] < 3 * decode[256]

@@ -1,0 +1,58 @@
+"""Figure 2: ShareGPT workload statistics.
+
+(a) 73 % of conversations are multi-turn; (b) 47 % / 30 % of sessions
+exceed 2K / 4K tokens.  Regenerated from the synthetic workload generator
+fitted to those marginals.
+"""
+
+from _shared import paper_trace
+
+from repro.analysis import format_table, percent
+from repro.workload import (
+    fraction_multi_turn,
+    mean_turns,
+    session_length_survival,
+    turn_count_histogram,
+)
+
+
+def compute_stats():
+    trace = paper_trace()
+    return {
+        "multi": fraction_multi_turn(trace),
+        "mean_turns": mean_turns(trace),
+        "survival": session_length_survival(trace, [1024, 2048, 4096, 8192]),
+        "histogram": turn_count_histogram(trace),
+    }
+
+
+def test_fig02_workload_statistics(benchmark):
+    stats = benchmark(compute_stats)
+    print()
+    hist = stats["histogram"]
+    total = sum(hist.values())
+    buckets = [(1, 1), (2, 4), (5, 9), (10, 19), (20, 40)]
+    rows = [
+        [
+            f"{lo}-{hi}" if lo != hi else str(lo),
+            percent(sum(v for k, v in hist.items() if lo <= k <= hi) / total),
+        ]
+        for lo, hi in buckets
+    ]
+    print(format_table(["turns", "share"], rows, title="Figure 2a — turn counts"))
+    rows = [[t, percent(f)] for t, f in stats["survival"].items()]
+    print()
+    print(
+        format_table(
+            ["> tokens", "share of sessions"],
+            rows,
+            title="Figure 2b — session length survival",
+        )
+    )
+    print(f"\nmulti-turn share: {percent(stats['multi'])} (paper: 73%)")
+    print(f"mean turns/conversation: {stats['mean_turns']:.2f} (paper: 5.75)")
+
+    assert abs(stats["multi"] - 0.73) < 0.03
+    assert abs(stats["mean_turns"] - 5.75) < 0.35
+    assert abs(stats["survival"][2048] - 0.47) < 0.06
+    assert abs(stats["survival"][4096] - 0.30) < 0.06

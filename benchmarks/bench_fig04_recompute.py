@@ -1,0 +1,57 @@
+"""Figure 4: recomputation inefficiency of the RE baseline.
+
+(a) historical vs new tokens per turn — the historical share exceeds 99 %
+in later turns; (b) GPU prefill time for all tokens vs only the new tokens
+(the paper uses Mistral-7B on one A100).
+"""
+
+from _shared import paper_trace
+
+from repro.analysis import format_table, percent
+from repro.config import HardwareConfig
+from repro.hardware import PerfModel
+from repro.models import get_model
+from repro.workload import per_turn_token_stats, repetition_fraction
+
+
+def compute():
+    trace = paper_trace()
+    stats = per_turn_token_stats(trace, max_turn=16)
+    pm = PerfModel(get_model("mistral-7b"), HardwareConfig(num_gpus=1))
+    rows = []
+    for s in stats:
+        full = pm.prefill_time(int(s.mean_history + s.mean_new))
+        new_only = pm.prefill_time(int(s.mean_new), int(s.mean_history))
+        rows.append((s, full, new_only))
+    return rows, repetition_fraction(trace)
+
+
+def test_fig04_recompute_inefficiency(benchmark):
+    rows, repeated = benchmark(compute)
+    print()
+    table = [
+        [
+            s.turn_index + 1,
+            f"{s.mean_history:.0f}",
+            f"{s.mean_new:.0f}",
+            percent(s.history_fraction),
+            f"{full * 1e3:.1f}",
+            f"{new_only * 1e3:.1f}",
+        ]
+        for s, full, new_only in rows
+    ]
+    print(
+        format_table(
+            ["turn", "hist tokens", "new tokens", "hist share",
+             "prefill all (ms)", "prefill new (ms)"],
+            table,
+            title="Figure 4 — historical vs new tokens (Mistral-7B, 1 GPU)",
+        )
+    )
+    print(f"\nworkload-wide repeated prefill share: {percent(repeated)} (paper: ~99% in late turns)")
+
+    late = rows[-1][0]
+    assert late.history_fraction > 0.9
+    # Prefilling only new tokens is an order of magnitude cheaper by turn 8.
+    s8, full8, new8 = rows[7]
+    assert full8 > 5 * new8

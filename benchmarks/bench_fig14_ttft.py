@@ -1,0 +1,58 @@
+"""Figure 14: time to first token, CachedAttention vs recomputation.
+
+Paper: TTFT drops 85 % (13B), 61 % (65B), 87 % (70B), 86 % (Falcon-40B).
+The 65B gains least: its 2.5 MB/token KV makes loading a larger share of
+the prefill, and its hit rate is lowest.
+"""
+
+from _shared import EVAL_MODEL_NAMES, end_to_end_run, once
+
+from repro.analysis import format_table, percent
+from repro.config import ServingMode
+
+PAPER_REDUCTIONS = {
+    "llama-13b": 0.85,
+    "llama-65b": 0.61,
+    "llama-70b": 0.87,
+    "falcon-40b": 0.86,
+}
+
+
+def run_all():
+    return {
+        name: {
+            mode: end_to_end_run(name, mode)
+            for mode in (ServingMode.CACHED, ServingMode.RECOMPUTE)
+        }
+        for name in EVAL_MODEL_NAMES
+    }
+
+
+def test_fig14_ttft(benchmark):
+    results = once(benchmark, run_all)
+    print()
+    rows = []
+    reductions = {}
+    for name in EVAL_MODEL_NAMES:
+        ca = results[name][ServingMode.CACHED].summary.mean_ttft
+        re = results[name][ServingMode.RECOMPUTE].summary.mean_ttft
+        reductions[name] = 1 - ca / re
+        rows.append(
+            [
+                name,
+                f"{re:.3f}",
+                f"{ca:.3f}",
+                percent(reductions[name]),
+                percent(PAPER_REDUCTIONS[name]),
+            ]
+        )
+    print(
+        format_table(
+            ["model", "RE TTFT (s)", "CA TTFT (s)", "reduction", "paper"],
+            rows,
+            title="Figure 14 — time to first token",
+        )
+    )
+    # Shape: CA always wins decisively; 65B benefits least.
+    assert all(r > 0.3 for r in reductions.values())
+    assert reductions["llama-65b"] == min(reductions.values())

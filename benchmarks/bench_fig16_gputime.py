@@ -1,0 +1,66 @@
+"""Figure 16: end-to-end GPU time to finish the workload, CA vs RE.
+
+Paper speedups: 4.0x (13B), 1.9x (65B), 3.3x (70B), 3.4x (Falcon-40B).
+In this reproduction the decode phase — identical work in both modes —
+is costed by an honest bandwidth roofline, so total-GPU-time speedups land
+lower than the paper's while the *prefill* GPU-time ratios match its
+range; both are printed (see EXPERIMENTS.md, "calibration").
+"""
+
+from _shared import EVAL_MODEL_NAMES, end_to_end_run, once
+
+from repro.analysis import format_table
+from repro.config import ServingMode
+
+PAPER_SPEEDUPS = {
+    "llama-13b": 4.0,
+    "llama-65b": 1.9,
+    "llama-70b": 3.3,
+    "falcon-40b": 3.4,
+}
+
+
+def run_all():
+    return {
+        name: {
+            mode: end_to_end_run(name, mode)
+            for mode in (ServingMode.CACHED, ServingMode.RECOMPUTE)
+        }
+        for name in EVAL_MODEL_NAMES
+    }
+
+
+def test_fig16_gpu_time(benchmark):
+    results = once(benchmark, run_all)
+    print()
+    rows = []
+    total_speedups = {}
+    prefill_speedups = {}
+    for name in EVAL_MODEL_NAMES:
+        ca = results[name][ServingMode.CACHED].summary
+        re = results[name][ServingMode.RECOMPUTE].summary
+        total_speedups[name] = re.gpu_time / ca.gpu_time
+        prefill_speedups[name] = re.prefill_gpu_time / ca.prefill_gpu_time
+        rows.append(
+            [
+                name,
+                f"{re.gpu_time / 3600:.2f}",
+                f"{ca.gpu_time / 3600:.2f}",
+                f"{total_speedups[name]:.2f}x",
+                f"{prefill_speedups[name]:.2f}x",
+                f"{PAPER_SPEEDUPS[name]:.1f}x",
+            ]
+        )
+    print(
+        format_table(
+            ["model", "RE GPU (h)", "CA GPU (h)", "total speedup",
+             "prefill speedup", "paper (total)"],
+            rows,
+            title="Figure 16 — GPU time to complete the workload",
+        )
+    )
+    # Shape: CA always reduces GPU time; 65B benefits least; the prefill
+    # component shows the paper-scale multipliers.
+    assert all(s > 1.05 for s in total_speedups.values())
+    assert total_speedups["llama-65b"] == min(total_speedups.values())
+    assert all(s > 1.4 for s in prefill_speedups.values())

@@ -1,0 +1,65 @@
+"""Figure 17: end-to-end inference cost, CA vs RE.
+
+Paper: CA cuts total cost by 70 % (13B), 43 % (65B), 66 % (70B), 68 %
+(Falcon-40B); AttentionStore's DRAM+SSD adds only 9-16 % of CA's total.
+Prices follow the paper's AWS sheet ($5/GPU/h, $0.0088/GB/h DRAM,
+$0.000082/GB/h SSD).
+"""
+
+from _shared import EVAL_MODEL_NAMES, end_to_end_run, once
+
+from repro.analysis import cost_saving, format_table, percent, run_cost
+from repro.config import HardwareConfig, ServingMode, StoreConfig
+from repro.models import get_model
+
+PAPER_SAVINGS = {
+    "llama-13b": 0.70,
+    "llama-65b": 0.43,
+    "llama-70b": 0.66,
+    "falcon-40b": 0.68,
+}
+
+
+def run_all():
+    out = {}
+    store = StoreConfig()
+    for name in EVAL_MODEL_NAMES:
+        hardware = HardwareConfig().for_model(get_model(name))
+        ca = run_cost(end_to_end_run(name, ServingMode.CACHED), hardware, store)
+        re = run_cost(end_to_end_run(name, ServingMode.RECOMPUTE), hardware, store)
+        out[name] = (ca, re)
+    return out
+
+
+def test_fig17_inference_cost(benchmark):
+    costs = once(benchmark, run_all)
+    print()
+    rows = []
+    savings = {}
+    for name in EVAL_MODEL_NAMES:
+        ca, re = costs[name]
+        savings[name] = cost_saving(ca, re)
+        rows.append(
+            [
+                name,
+                f"${re.total:,.0f}",
+                f"${ca.total:,.0f}",
+                percent(ca.storage_fraction),
+                percent(savings[name]),
+                percent(PAPER_SAVINGS[name]),
+            ]
+        )
+    print(
+        format_table(
+            ["model", "RE cost", "CA cost", "CA storage share",
+             "saving", "paper saving"],
+            rows,
+            title="Figure 17 — inference cost (AWS on-demand prices)",
+        )
+    )
+    # Shape: CA is cheaper for every model; 65B saves least; storage is a
+    # modest fraction of CA's bill.
+    assert all(s > 0.0 for s in savings.values())
+    assert savings["llama-65b"] == min(savings.values())
+    for name in EVAL_MODEL_NAMES:
+        assert costs[name][0].storage_fraction < 0.45, name

@@ -1,0 +1,88 @@
+"""Figure 21: scheduler-aware eviction vs LRU vs FIFO.
+
+Paper (LLaMA-13B): at 128G/2T the scheduler-aware policy beats LRU/FIFO's
+overall hit rate by 27-31 points; at 128G/10T it reaches 86 % vs 58 %
+(LRU) / 48 % (FIFO).  LRU/FIFO cannot use scheduler hints, so they also
+cannot prefetch — their DRAM hit rates stay ~0.5 % while the
+scheduler-aware policy serves >99.6 % of hits from DRAM.  Higher hit rates
+translate into lower GPU time (up to 2.7x).
+"""
+
+from _shared import once, run_with_store
+
+from repro.analysis import format_table, percent
+from repro.config import EvictionPolicyName, StoreConfig
+from repro.models import GiB, TiB
+
+STORAGE_CONFIGS = {
+    "128G/2T": dict(dram_bytes=128 * GiB, ssd_bytes=2 * TiB),
+    "128G/10T": dict(dram_bytes=128 * GiB, ssd_bytes=10 * TiB),
+}
+POLICIES = (
+    EvictionPolicyName.SCHEDULER_AWARE,
+    EvictionPolicyName.LRU,
+    EvictionPolicyName.FIFO,
+)
+
+
+def run_all():
+    results = {}
+    for label, sizes in STORAGE_CONFIGS.items():
+        for policy in POLICIES:
+            store = StoreConfig(
+                policy=policy,
+                # Only the scheduler-aware policy has the hints needed to
+                # prefetch (Section 4.3.3).
+                enable_prefetch=policy is EvictionPolicyName.SCHEDULER_AWARE,
+                **sizes,
+            )
+            results[(label, policy)] = run_with_store("llama-13b", store)
+    return results
+
+
+def test_fig21_eviction_policies(benchmark):
+    results = once(benchmark, run_all)
+    print()
+    rows = []
+    for (label, policy), result in results.items():
+        s = result.summary
+        rows.append(
+            [
+                label,
+                policy.value,
+                percent(s.hit_rate),
+                percent(s.dram_hit_rate),
+                percent(s.disk_hit_rate),
+                f"{s.gpu_time / 3600:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["storage", "policy", "hit rate", "DRAM hits", "disk hits", "GPU (h)"],
+            rows,
+            title="Figure 21 — eviction policies (LLaMA-13B)",
+        )
+    )
+    for label in STORAGE_CONFIGS:
+        sa = results[(label, EvictionPolicyName.SCHEDULER_AWARE)].summary
+        lru = results[(label, EvictionPolicyName.LRU)].summary
+        fifo = results[(label, EvictionPolicyName.FIFO)].summary
+        # Shape: scheduler-aware never loses on overall hit rate (and wins
+        # decisively under the tight 2T configuration, cf. the paper's
+        # 27-31 point gap) ...
+        assert sa.hit_rate >= lru.hit_rate - 0.01, label
+        assert sa.hit_rate >= fifo.hit_rate - 0.01, label
+        # ... dominates overwhelmingly on DRAM hits (history-only policies
+        # cannot prefetch, paper: ~0.5 % DRAM hits) ...
+        assert sa.dram_hit_rate > 10 * max(lru.dram_hit_rate, 1e-3), label
+        # ... which shows up as GPU time.
+        assert sa.gpu_time < lru.gpu_time, label
+    tight = "128G/2T"
+    sa_tight = results[(tight, EvictionPolicyName.SCHEDULER_AWARE)].summary
+    lru_tight = results[(tight, EvictionPolicyName.LRU)].summary
+    assert sa_tight.hit_rate > lru_tight.hit_rate + 0.10
+    # More SSD helps every policy.
+    for policy in POLICIES:
+        small = results[("128G/2T", policy)].summary.hit_rate
+        large = results[("128G/10T", policy)].summary.hit_rate
+        assert large >= small - 0.02, policy

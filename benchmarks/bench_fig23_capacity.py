@@ -1,0 +1,69 @@
+"""Figure 23: required cache capacity vs hit rate / throughput.
+
+Section 4.3.6 provisions AttentionStore as a fraction of
+``CCpUT = DSpUT x CCpS`` (distinct sessions per TTL times the max cache
+per session) with a 1-hour TTL.  Paper: RCC/CCpUT = 0.1 already achieves
+~51 % hit rate and 0.25 achieves ~98 %; the decoding throughput saturates
+together with the hit rate.
+"""
+
+from _shared import N_SESSIONS, WARMUP_TURNS, build_engine, once, paper_trace
+
+from repro.analysis import capacity_plan, format_table, percent
+from repro.config import ServingMode, StoreConfig
+from repro.models import GiB, get_model
+
+RATIOS = (0.05, 0.1, 0.25, 0.5, 1.0)
+TTL_SECONDS = 3600.0
+MODEL = "llama-13b"
+
+
+def run_sweep():
+    trace = paper_trace()
+    model = get_model(MODEL)
+    plan = capacity_plan(model, trace, ttl_seconds=TTL_SECONDS)
+    results = {}
+    for ratio in RATIOS:
+        rcc = plan.rcc_bytes(ratio)
+        dram = min(128 * GiB, rcc)
+        store = StoreConfig(
+            dram_bytes=dram,
+            ssd_bytes=max(0, rcc - dram),
+            ttl_seconds=TTL_SECONDS,
+        )
+        engine = build_engine(MODEL, ServingMode.CACHED, store_config=store)
+        results[ratio] = engine.run(trace)
+    return plan, results
+
+
+def test_fig23_cache_capacity(benchmark):
+    plan, results = once(benchmark, run_sweep)
+    print()
+    print(
+        f"CCpS = {plan.ccps_bytes / GiB:.1f} GiB, DSpUT = {plan.dsput:.0f}, "
+        f"CCpUT = {plan.ccput_bytes / (1 << 40):.1f} TiB (TTL 1h, "
+        f"{N_SESSIONS} sessions, warm-up {WARMUP_TURNS} turns)"
+    )
+    rows = []
+    for ratio in RATIOS:
+        s = results[ratio].summary
+        tput = s.generated_tokens_total / s.makespan
+        rows.append(
+            [f"{ratio:.2f}", percent(s.hit_rate), f"{tput:,.0f}",
+             f"{s.gpu_time / 3600:.2f}"]
+        )
+    print(
+        format_table(
+            ["RCC/CCpUT", "hit rate", "decode tok/s", "GPU (h)"],
+            rows,
+            title="Figure 23 — capacity provisioning sweep (LLaMA-13B)",
+        )
+    )
+    rates = [results[r].summary.hit_rate for r in RATIOS]
+    # Shape: hit rate rises steeply with capacity and saturates well below
+    # CCpUT.  The paper's knee sits at RCC/CCpUT ~= 0.25; ours lands by
+    # 0.5 because our DSpUT proxy (arrival windows) understates how long
+    # queue-delayed sessions stay live, shifting the ratio axis.
+    assert all(b >= a - 0.02 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] - rates[3] < 0.05  # saturated by ratio 0.5
+    assert rates[2] > rates[1] + 0.2  # steep growth into the knee

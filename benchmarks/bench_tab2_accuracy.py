@@ -1,0 +1,101 @@
+"""Table 2: downstream accuracy of CA vs TT vs NKVT after overflow.
+
+Paper: on MMLU / LongEval / PIQA, CA and TT answer equally well after
+context truncation while NKVT collapses (e.g. LongEval 66 % / 66 % / 12 %
+for LLaMA-7B) — scrambled positions disrupt retrieval from context.
+
+Substitute (see DESIGN.md): the word-recall benchmark — a LongEval-style
+probe where the model must retrieve the spelling of document-specific
+words from the *kept* context after truncation — plus overall next-token
+accuracy on two long copy corpora standing in for the multiple-choice
+benchmarks.  Two model sizes mirror the paper's 7B/13B rows.
+"""
+
+from dataclasses import replace
+
+import pytest
+from _shared import MODEL_CACHE_DIR, once
+
+from repro.analysis import format_table, percent
+from repro.model import (
+    COPY_CORPORA,
+    ModelConfig,
+    Scheme,
+    TrainConfig,
+    VOCAB_SIZE,
+    evaluate_corpus,
+    make_copy_corpus,
+    make_trained_model,
+    run_word_recall_benchmark,
+)
+
+# Two model sizes mirror the paper's LLaMA-7B/13B rows.  The narrow MLPs
+# and many small heads accelerate induction-head formation (the circuit
+# behind in-context copying) at this scale.
+MODEL_PRESETS = {
+    "tiny-48": ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=48, n_layers=2, n_heads=6, d_ff=48,
+        context_window=96,
+    ),
+    "small-64": ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=64, n_layers=2, n_heads=8, d_ff=64,
+        context_window=96,
+    ),
+}
+TRAIN = TrainConfig(steps=3000, batch_size=16, seq_len=96, lr=1e-3, lr_half_life=1500)
+SCHEMES = (Scheme.CA, Scheme.TT, Scheme.NKVT)
+
+
+def accuracy_corpus(corpus_name: str):
+    spec = replace(COPY_CORPORA[corpus_name], doc_sentences=24, seed=4321)
+    return make_copy_corpus(spec, 12)
+
+
+def run_table():
+    table = {}
+    for size_name, model_config in MODEL_PRESETS.items():
+        model = make_trained_model(
+            "mixed", model_config, TRAIN, cache_dir=MODEL_CACHE_DIR
+        )
+        table[("synth-LongEval (word recall)", size_name)] = {
+            s: run_word_recall_benchmark(model, s, n_cases=20).accuracy
+            for s in SCHEMES
+        }
+        for corpus, label in (
+            ("synth-wikitext", "synth-MMLU (next token)"),
+            ("synth-ptb", "synth-PIQA (next token)"),
+        ):
+            docs = accuracy_corpus(corpus)
+            table[(label, size_name)] = {
+                s: evaluate_corpus(model, docs, s).accuracy for s in SCHEMES
+            }
+    return table
+
+
+def test_tab2_accuracy(benchmark):
+    table = once(benchmark, run_table)
+    print()
+    rows = [
+        [
+            bench,
+            size,
+            percent(row[Scheme.CA]),
+            percent(row[Scheme.TT]),
+            percent(row[Scheme.NKVT]),
+        ]
+        for (bench, size), row in table.items()
+    ]
+    print(
+        format_table(
+            ["benchmark", "model", "CA", "TT", "NKVT"],
+            rows,
+            title="Table 2 — accuracy after context-window overflow",
+        )
+    )
+    for key, row in table.items():
+        # Shape: CA ~= TT; NKVT clearly collapses.  The tiny model answers
+        # less often — like the paper's smaller-model rows — but the
+        # scheme separation is what the table tests.
+        assert abs(row[Scheme.CA] - row[Scheme.TT]) < 0.08, key
+        assert row[Scheme.NKVT] < row[Scheme.CA] - 0.10, key
+        assert row[Scheme.CA] > 0.2, key

@@ -1,0 +1,68 @@
+"""Provision AttentionStore capacity for a workload (Section 4.3.6).
+
+Computes the paper's provisioning quantities — CCpS, DSpUT, CCpUT — for a
+workload and model, then sweeps the provisioned-capacity ratio RCC/CCpUT
+to find the knee where the hit rate saturates (the paper finds ~98 % at a
+ratio of 0.25 with a 1-hour TTL).
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.analysis import capacity_plan, format_table, percent
+from repro.config import EngineConfig, StoreConfig
+from repro.engine import ServingEngine
+from repro.models import GiB, get_model
+from repro.workload import generate_trace
+
+TTL = 3600.0
+RATIOS = (0.05, 0.1, 0.25, 0.5)
+
+
+def main() -> None:
+    model = get_model("llama-13b")
+    trace = generate_trace(n_sessions=1200, seed=31)
+    plan = capacity_plan(model, trace, ttl_seconds=TTL)
+    print(f"model: {model.name} (window {model.context_window}, "
+          f"{model.kv_bytes_per_token / 2**20:.2f} MiB KV/token)")
+    print(f"CCpS  = {plan.ccps_bytes / GiB:.1f} GiB  (max cache per session)")
+    print(f"DSpUT = {plan.dsput:.0f}  (distinct sessions per {TTL:.0f}s TTL)")
+    print(f"CCpUT = {plan.ccput_bytes / GiB:,.0f} GiB  (capacity for ~100% hits)")
+
+    rows = []
+    for ratio in RATIOS:
+        rcc = plan.rcc_bytes(ratio)
+        dram = min(128 * GiB, rcc)
+        store = StoreConfig(
+            dram_bytes=dram,
+            ssd_bytes=max(0, rcc - dram),
+            ttl_seconds=TTL,
+        )
+        engine = ServingEngine(
+            model,
+            engine_config=EngineConfig(batch_size=model.default_batch_size),
+            store_config=store,
+        )
+        summary = engine.run(trace).summary
+        rows.append(
+            [
+                f"{ratio:.2f}",
+                f"{rcc / GiB:,.0f}",
+                percent(summary.hit_rate),
+                f"{summary.mean_ttft:.3f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["RCC/CCpUT", "capacity (GiB)", "hit rate", "TTFT (s)"],
+            rows,
+            title="Capacity sweep (cf. paper Figure 23)",
+        )
+    )
+    print("\nThe hit rate saturates well below CCpUT: cached sessions have"
+          "\nvery different hotness, so a fraction of the worst-case"
+          "\ncapacity already captures nearly all reuse.")
+
+
+if __name__ == "__main__":
+    main()

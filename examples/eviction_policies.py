@@ -1,0 +1,68 @@
+"""Compare eviction policies under storage pressure (a mini Figure 21).
+
+Runs the same multi-turn workload with the scheduler-aware policy, LRU and
+FIFO under a storage configuration tight enough that eviction decisions
+matter, and prints the hit-rate/GPU-time ladder the paper reports.
+
+Run:  python examples/eviction_policies.py
+"""
+
+from repro.analysis import format_table, percent
+from repro.config import EngineConfig, EvictionPolicyName, StoreConfig
+from repro.engine import ServingEngine
+from repro.models import GiB, TiB, get_model
+from repro.workload import generate_trace
+
+
+def main() -> None:
+    model = get_model("llama-13b")
+    trace = generate_trace(n_sessions=800, seed=17)
+    print(f"workload: {len(trace)} sessions, {trace.n_turns_total} turns")
+    rows = []
+    for policy in (
+        EvictionPolicyName.SCHEDULER_AWARE,
+        EvictionPolicyName.LRU,
+        EvictionPolicyName.FIFO,
+    ):
+        store = StoreConfig(
+            dram_bytes=16 * GiB,
+            ssd_bytes=int(0.4 * TiB),
+            policy=policy,
+            # Only the scheduler-aware policy can use queue hints to
+            # prefetch; LRU/FIFO are history-only (Section 4.3.3).
+            enable_prefetch=policy is EvictionPolicyName.SCHEDULER_AWARE,
+        )
+        engine = ServingEngine(
+            model,
+            engine_config=EngineConfig(batch_size=model.default_batch_size),
+            store_config=store,
+        )
+        result = engine.run(trace)
+        s = result.summary
+        rows.append(
+            [
+                policy.value,
+                percent(s.hit_rate),
+                percent(s.dram_hit_rate),
+                percent(s.disk_hit_rate),
+                f"{s.mean_ttft:.3f}",
+                f"{s.gpu_time / 3600:.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["policy", "hit rate", "DRAM hits", "disk hits", "TTFT (s)", "GPU (h)"],
+            rows,
+            title="Eviction policies under storage pressure (16 GB / 0.4 TB)",
+        )
+    )
+    print(
+        "\nThe scheduler-aware policy protects sessions with queued jobs and"
+        "\nprefetches them into DRAM, so almost every hit is a DRAM hit;"
+        "\nLRU/FIFO leave hits on disk and evict sessions that return soon."
+    )
+
+
+if __name__ == "__main__":
+    main()

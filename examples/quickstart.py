@@ -1,0 +1,71 @@
+"""Quickstart: serve a multi-turn workload with and without CachedAttention.
+
+Generates a small ShareGPT-like trace, runs the recomputation baseline
+(RE) and CachedAttention (CA) on a simulated 2xA100 LLaMA-13B deployment,
+and prints the headline comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import cost_saving, format_table, percent, run_cost
+from repro.config import EngineConfig, HardwareConfig, StoreConfig
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.workload import generate_trace
+
+
+def main() -> None:
+    model = get_model("llama-13b")
+    hardware = HardwareConfig().for_model(model)
+    store = StoreConfig()  # 128 GB DRAM + 10 TB SSD, scheduler-aware
+    trace = generate_trace(n_sessions=500, seed=7)
+    print(
+        f"workload: {len(trace)} sessions, {trace.n_turns_total} turns, "
+        f"{trace.n_tokens_total:,} tokens"
+    )
+
+    cached = ServingEngine(
+        model,
+        hardware=hardware,
+        engine_config=EngineConfig(batch_size=model.default_batch_size),
+        store_config=store,
+    ).run(trace)
+
+    recompute = ServingEngine(
+        model,
+        hardware=hardware,
+        engine_config=EngineConfig.recompute_baseline(
+            batch_size=model.default_batch_size
+        ),
+    ).run(trace)
+
+    ca, re = cached.summary, recompute.summary
+    rows = [
+        ["cache hit rate", percent(ca.hit_rate), "-"],
+        ["mean TTFT (s)", f"{ca.mean_ttft:.3f}", f"{re.mean_ttft:.3f}"],
+        [
+            "prefill throughput (tok/s)",
+            f"{ca.prefill_throughput:,.0f}",
+            f"{re.prefill_throughput:,.0f}",
+        ],
+        ["GPU time (h)", f"{ca.gpu_time / 3600:.2f}", f"{re.gpu_time / 3600:.2f}"],
+    ]
+    print()
+    print(format_table(["metric", "CachedAttention", "recompute"], rows))
+
+    ca_cost = run_cost(cached, hardware, store)
+    re_cost = run_cost(recompute, hardware, store)
+    print(
+        f"\ncost: CA ${ca_cost.total:,.0f} "
+        f"(storage {percent(ca_cost.storage_fraction)}) "
+        f"vs RE ${re_cost.total:,.0f} "
+        f"-> saving {percent(cost_saving(ca_cost, re_cost))}"
+    )
+    print(
+        f"TTFT reduction: {percent(1 - ca.mean_ttft / re.mean_ttft)}, "
+        f"prefill speedup: {ca.prefill_throughput / re.prefill_throughput:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""CachedAttention running on a *real* model — no simulation.
+
+Serves a multi-turn conversation with the trained NumPy transformer twice:
+once with CachedAttention (the stored decoupled-PE KV cache is reused, so
+each turn prefills only its new tokens) and once with the recomputation
+baseline.  The replies are bit-for-bit identical — the paper's correctness
+claim for decoupled-positional-encoding reuse — while the cached server
+computes a fraction of the tokens.  Context-window overflow is handled by
+truncating the stored cache directly, mid-conversation.
+
+Run:  python examples/real_model_chat.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import format_table, percent
+from repro.model import (
+    ModelConfig,
+    TinyChatServer,
+    TrainConfig,
+    VOCAB_SIZE,
+    decode,
+    encode,
+    make_trained_model,
+)
+
+CACHE_DIR = Path(__file__).resolve().parent.parent / ".model_cache"
+
+
+def main() -> None:
+    model_config = ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=64, n_layers=2, n_heads=8, d_ff=64,
+        context_window=96,
+    )
+    train_config = TrainConfig(
+        steps=3000, batch_size=16, seq_len=96, lr=1e-3, lr_half_life=1500
+    )
+    print("training (or loading cached) model ...")
+    model = make_trained_model(
+        "mixed", model_config, train_config, cache_dir=CACHE_DIR
+    )
+
+    # A conversation whose "user messages" introduce made-up words the
+    # model can only continue by reading its own context.
+    turns = [
+        "the word mivon means ",
+        "recall mivon and qelta. mivon ",
+        "again mivon qelta zuret. qelta ",
+        "one more time with zuret mivon. zuret ",
+    ]
+
+    cached = TinyChatServer(model, cached=True)
+    recompute = TinyChatServer(model, cached=False)
+
+    rows = []
+    all_equal = True
+    for i, text in enumerate(turns):
+        prompt = encode(text)
+        a = cached.serve_turn(0, prompt, max_new_tokens=8)
+        b = recompute.serve_turn(0, prompt, max_new_tokens=8)
+        equal = np.array_equal(a.reply, b.reply)
+        all_equal &= equal
+        rows.append(
+            [
+                i + 1,
+                repr(decode(a.reply)),
+                a.prefilled_tokens,
+                b.prefilled_tokens,
+                a.reused_tokens,
+                "yes" if equal else "NO",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["turn", "reply (cached)", "CA prefill", "RE prefill",
+             "CA reused", "identical"],
+            rows,
+            title="CachedAttention vs recomputation on a real model",
+        )
+    )
+    saved = 1 - cached.prefilled_tokens_total / recompute.prefilled_tokens_total
+    print(
+        f"\nreplies identical: {all_equal}; "
+        f"prefill computation saved by caching: {percent(saved)}"
+    )
+
+    # Overflow demo: keep talking until the 96-token window overflows —
+    # the stored cache is truncated in place and serving continues.
+    overflow_server = TinyChatServer(model, context_window=64)
+    total_dropped = 0
+    for i in range(6):
+        result = overflow_server.serve_turn(
+            7, encode("more words flow here "), max_new_tokens=4
+        )
+        total_dropped += result.truncated_tokens
+    print(
+        f"\noverflow demo: 6 turns against a 64-token window dropped "
+        f"{total_dropped} tokens via direct KV-cache truncation; "
+        f"cache now holds {overflow_server.stored_cache_tokens} entries "
+        "and the session never recomputed its history."
+    )
+
+
+if __name__ == "__main__":
+    main()

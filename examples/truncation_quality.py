@@ -1,0 +1,86 @@
+"""Decoupled positional encoding: why truncated KV caches stay usable.
+
+Trains the small NumPy RoPE transformer on the synthetic copy corpora,
+then streams held-out documents past the context window under the three
+overflow schemes of the paper's Section 4.3.5:
+
+* TT   — token truncation + full recomputation (quality reference),
+* CA   — CachedAttention's decoupled-PE KV truncation (no recompute),
+* NKVT — naive truncation of position-embedded KV (the failure mode).
+
+Prints the Table-1-style perplexities and a Table-2-style word-recall
+accuracy.  First run trains for a couple of minutes and caches the weights
+under ``.model_cache``.
+
+Run:  python examples/truncation_quality.py
+"""
+
+from dataclasses import replace
+from pathlib import Path
+
+from repro.analysis import format_table, percent
+from repro.model import (
+    COPY_CORPORA,
+    ModelConfig,
+    Scheme,
+    TrainConfig,
+    VOCAB_SIZE,
+    evaluate_corpus,
+    make_copy_corpus,
+    make_trained_model,
+    run_word_recall_benchmark,
+)
+
+CACHE_DIR = Path(__file__).resolve().parent.parent / ".model_cache"
+
+
+def main() -> None:
+    model_config = ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=64, n_layers=2, n_heads=8, d_ff=64,
+        context_window=96,
+    )
+    train_config = TrainConfig(
+        steps=3000, batch_size=16, seq_len=96, lr=1e-3, lr_half_life=1500
+    )
+    print("training (or loading cached) model ...")
+    model = make_trained_model(
+        "mixed", model_config, train_config, cache_dir=CACHE_DIR, verbose=True
+    )
+    print(f"model: {model.n_params:,} parameters, window {model_config.context_window}")
+
+    schemes = (Scheme.CA, Scheme.TT, Scheme.NKVT)
+    rows = []
+    for name, spec in COPY_CORPORA.items():
+        docs = make_copy_corpus(replace(spec, doc_sentences=24, seed=99), 10)
+        ppl = {s: evaluate_corpus(model, docs, s).perplexity for s in schemes}
+        rows.append([name, f"{ppl[Scheme.CA]:.2f}", f"{ppl[Scheme.TT]:.2f}",
+                     f"{ppl[Scheme.NKVT]:.1f}"])
+    print()
+    print(
+        format_table(
+            ["corpus", "CA", "TT", "NKVT"],
+            rows,
+            title="Perplexity after context overflow (cf. paper Table 1)",
+        )
+    )
+
+    print()
+    acc = {
+        s: run_word_recall_benchmark(model, s, n_cases=15).accuracy
+        for s in schemes
+    }
+    print(
+        format_table(
+            ["scheme", "word-recall accuracy"],
+            [[s.value, percent(acc[s])] for s in schemes],
+            title="Word recall after overflow (cf. paper Table 2 / LongEval)",
+        )
+    )
+    print(
+        "\nCA matches TT without recomputing a single token; NKVT's"
+        "\nposition-scrambled cache loses both fluency and retrieval."
+    )
+
+
+if __name__ == "__main__":
+    main()

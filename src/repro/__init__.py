@@ -1,0 +1,61 @@
+"""CachedAttention / AttentionStore — full reproduction.
+
+Reproduces "Cost-Efficient Large Language Model Serving for Multi-turn
+Conversations with CachedAttention" (USENIX ATC 2024): a serving engine
+whose KV caches survive across conversation turns in a DRAM/SSD hierarchy
+(AttentionStore), with layer-wise pre-loading, asynchronous saving,
+scheduler-aware fetching/eviction, and decoupled-positional-encoding KV
+truncation.
+
+Top-level packages:
+
+* :mod:`repro.workload` — synthetic ShareGPT-like multi-turn traces.
+* :mod:`repro.sim` — discrete-event simulation substrate.
+* :mod:`repro.hardware` — roofline GPU/transfer performance model.
+* :mod:`repro.store` — AttentionStore (tiers, policies, prefetch).
+* :mod:`repro.engine` — continuous-batching serving engine (RE vs CA).
+* :mod:`repro.model` — trainable NumPy RoPE transformer for the quality
+  experiments (decoupled vs embedded positional encodings).
+* :mod:`repro.analysis` — cost/capacity analysis and report formatting.
+"""
+
+from .config import (
+    EngineConfig,
+    EvictionPolicyName,
+    GPUSpec,
+    HardwareConfig,
+    ServingMode,
+    StoreConfig,
+    TruncationPolicyName,
+)
+from .models import (
+    EVALUATION_MODELS,
+    MODEL_REGISTRY,
+    GiB,
+    MiB,
+    ModelSpec,
+    TiB,
+    get_model,
+    register_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EVALUATION_MODELS",
+    "EngineConfig",
+    "EvictionPolicyName",
+    "GPUSpec",
+    "GiB",
+    "HardwareConfig",
+    "MODEL_REGISTRY",
+    "MiB",
+    "ModelSpec",
+    "ServingMode",
+    "StoreConfig",
+    "TiB",
+    "TruncationPolicyName",
+    "__version__",
+    "get_model",
+    "register_model",
+]

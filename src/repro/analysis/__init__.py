@@ -1,0 +1,25 @@
+"""Cost, capacity and reporting analysis."""
+
+from .capacity import (
+    CapacityPlan,
+    capacity_plan,
+    ccps_bytes,
+    distinct_sessions_per_unit_time,
+)
+from .cost import AWS_PRICES, CostBreakdown, PriceSheet, cost_saving, run_cost
+from .report import format_table, percent, speedup
+
+__all__ = [
+    "AWS_PRICES",
+    "CapacityPlan",
+    "CostBreakdown",
+    "PriceSheet",
+    "capacity_plan",
+    "ccps_bytes",
+    "cost_saving",
+    "distinct_sessions_per_unit_time",
+    "format_table",
+    "percent",
+    "run_cost",
+    "speedup",
+]

@@ -1,0 +1,83 @@
+"""Inference cost model (Figure 17).
+
+Prices follow the paper's Section 4.2, based on AWS EC2 on-demand rates:
+$5/hour per A100 GPU, $0.0088/hour/GB of DRAM, $0.000082/hour/GB of SSD.
+A run's cost is the resource-hours consumed while completing the workload:
+GPUs for the makespan, plus (for CachedAttention) the DRAM and SSD that
+AttentionStore occupies for the same period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HardwareConfig, StoreConfig
+from ..engine.engine import RunResult
+from ..models import GiB
+
+
+@dataclass(frozen=True)
+class PriceSheet:
+    """Hourly resource prices (USD)."""
+
+    gpu_per_hour: float = 5.0
+    dram_per_gb_hour: float = 0.0088
+    ssd_per_gb_hour: float = 0.000082
+
+    def __post_init__(self) -> None:
+        for name in ("gpu_per_hour", "dram_per_gb_hour", "ssd_per_gb_hour"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+AWS_PRICES = PriceSheet()
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Dollar cost of one serving run, by resource."""
+
+    gpu: float
+    dram: float
+    ssd: float
+
+    @property
+    def total(self) -> float:
+        return self.gpu + self.dram + self.ssd
+
+    @property
+    def storage_fraction(self) -> float:
+        """Share of the total spent on DRAM + SSD (paper: 9-16 % for CA)."""
+        return (self.dram + self.ssd) / self.total if self.total else 0.0
+
+
+def run_cost(
+    result: RunResult,
+    hardware: HardwareConfig,
+    store: StoreConfig | None = None,
+    prices: PriceSheet = AWS_PRICES,
+) -> CostBreakdown:
+    """Cost of completing a workload, from its :class:`RunResult`.
+
+    GPUs are billed for their busy hours (the paper's cost savings track
+    its GPU-time reductions: in the saturated serving regime busy time and
+    rental time coincide, and idle GPUs can serve other workloads).
+    Storage is billed only for CachedAttention runs, which hold the
+    configured DRAM/SSD for the whole serving period (the makespan).
+    """
+    gpu_hours = result.summary.total_gpu_busy_time / 3600.0
+    gpu = hardware.num_gpus * prices.gpu_per_hour * gpu_hours
+    dram = 0.0
+    ssd = 0.0
+    if result.is_cached and store is not None:
+        storage_hours = result.summary.makespan / 3600.0
+        dram = (store.dram_bytes / GiB) * prices.dram_per_gb_hour * storage_hours
+        ssd = (store.ssd_bytes / GiB) * prices.ssd_per_gb_hour * storage_hours
+    return CostBreakdown(gpu=gpu, dram=dram, ssd=ssd)
+
+
+def cost_saving(cached: CostBreakdown, recompute: CostBreakdown) -> float:
+    """Fractional cost reduction of CA relative to RE (paper: up to 70 %)."""
+    if recompute.total <= 0:
+        raise ValueError("recompute cost must be positive")
+    return 1.0 - cached.total / recompute.total

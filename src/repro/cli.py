@@ -1,0 +1,272 @@
+"""Command-line interface for the CachedAttention reproduction.
+
+Subcommands:
+
+* ``workload``  — generate a synthetic ShareGPT-like trace (JSON).
+* ``run``       — serve a trace with CA or RE and print the summary.
+* ``compare``   — run both modes on one trace and print the comparison.
+* ``capacity``  — the Section 4.3.6 provisioning analysis for a trace.
+* ``models``    — list the registered model specs.
+
+Examples::
+
+    python -m repro.cli workload --sessions 500 --out trace.json
+    python -m repro.cli run --trace trace.json --model llama-13b
+    python -m repro.cli compare --sessions 300 --model llama-13b
+    python -m repro.cli capacity --sessions 500 --model llama-13b --ttl 3600
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import (
+    capacity_plan,
+    cost_saving,
+    format_table,
+    percent,
+    run_cost,
+)
+from .config import (
+    EngineConfig,
+    EvictionPolicyName,
+    HardwareConfig,
+    ServingMode,
+    StoreConfig,
+)
+from .engine import RunResult, ServingEngine
+from .models import MODEL_REGISTRY, GiB, get_model
+from .workload import Trace, WorkloadSpec, generate_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CachedAttention / AttentionStore reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    wl = sub.add_parser("workload", help="generate a synthetic trace")
+    wl.add_argument("--sessions", type=int, default=1000)
+    wl.add_argument("--arrival-rate", type=float, default=1.0)
+    wl.add_argument("--seed", type=int, default=2024)
+    wl.add_argument("--out", type=Path, required=True)
+
+    def add_serving_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", type=Path, help="trace JSON (else synthesised)")
+        p.add_argument("--sessions", type=int, default=500)
+        p.add_argument("--seed", type=int, default=2024)
+        p.add_argument(
+            "--model",
+            default="llama-13b",
+            choices=sorted(MODEL_REGISTRY),
+        )
+        p.add_argument("--batch-size", type=int, default=None)
+        p.add_argument("--dram-gb", type=float, default=128.0)
+        p.add_argument("--ssd-gb", type=float, default=10240.0)
+        p.add_argument(
+            "--policy",
+            default="scheduler-aware",
+            choices=[p.value for p in EvictionPolicyName],
+        )
+        p.add_argument("--no-prefetch", action="store_true")
+        p.add_argument("--no-preload", action="store_true")
+        p.add_argument("--sync-save", action="store_true")
+        p.add_argument("--warmup-turns", type=int, default=0)
+
+    run = sub.add_parser("run", help="serve a trace")
+    add_serving_args(run)
+    run.add_argument("--mode", default="ca", choices=["ca", "re"])
+
+    cmp_ = sub.add_parser("compare", help="run CA and RE on one trace")
+    add_serving_args(cmp_)
+
+    cap = sub.add_parser("capacity", help="capacity provisioning analysis")
+    cap.add_argument("--trace", type=Path)
+    cap.add_argument("--sessions", type=int, default=500)
+    cap.add_argument("--seed", type=int, default=2024)
+    cap.add_argument("--model", default="llama-13b", choices=sorted(MODEL_REGISTRY))
+    cap.add_argument("--ttl", type=float, default=3600.0)
+
+    sub.add_parser("models", help="list registered model specs")
+    return parser
+
+
+def _load_trace(args: argparse.Namespace) -> Trace:
+    if args.trace is not None:
+        return Trace.load(args.trace)
+    return generate_trace(
+        WorkloadSpec(n_sessions=args.sessions, seed=args.seed)
+    )
+
+
+def _build_engine(args: argparse.Namespace, mode: ServingMode) -> ServingEngine:
+    model = get_model(args.model)
+    batch = args.batch_size or model.default_batch_size
+    if mode is ServingMode.RECOMPUTE:
+        engine_config = EngineConfig.recompute_baseline(batch_size=batch)
+        store_config = None
+    else:
+        engine_config = EngineConfig(
+            batch_size=batch,
+            enable_preload=not args.no_preload,
+            enable_async_save=not args.sync_save,
+        )
+        store_config = StoreConfig(
+            dram_bytes=int(args.dram_gb * GiB),
+            ssd_bytes=int(args.ssd_gb * GiB),
+            policy=EvictionPolicyName(args.policy),
+            enable_prefetch=not args.no_prefetch,
+        )
+    return ServingEngine(
+        model,
+        hardware=HardwareConfig().for_model(model),
+        engine_config=engine_config,
+        store_config=store_config,
+        warmup_turns=args.warmup_turns,
+    )
+
+
+def _summary_rows(result: RunResult) -> list[list[str]]:
+    s = result.summary
+    return [
+        ["turns served", str(s.n_turns)],
+        ["cache hit rate", percent(s.hit_rate)],
+        ["DRAM hit rate", percent(s.dram_hit_rate)],
+        ["mean TTFT (s)", f"{s.mean_ttft:.4f}"],
+        ["p95 TTFT (s)", f"{s.p95_ttft:.4f}"],
+        ["prefill throughput (tok/s)", f"{s.prefill_throughput:,.0f}"],
+        ["GPU time (h)", f"{s.gpu_time / 3600:.3f}"],
+        ["makespan (h)", f"{s.makespan / 3600:.3f}"],
+    ]
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    trace = generate_trace(
+        WorkloadSpec(
+            n_sessions=args.sessions,
+            arrival_rate=args.arrival_rate,
+            seed=args.seed,
+        )
+    )
+    trace.save(args.out)
+    print(
+        f"wrote {len(trace)} sessions / {trace.n_turns_total} turns / "
+        f"{trace.n_tokens_total:,} tokens to {args.out}"
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    mode = ServingMode.CACHED if args.mode == "ca" else ServingMode.RECOMPUTE
+    trace = _load_trace(args)
+    engine = _build_engine(args, mode)
+    result = engine.run(trace)
+    print(
+        format_table(
+            ["metric", "value"],
+            _summary_rows(result),
+            title=f"{args.model} [{mode.value}] on {len(trace)} sessions",
+        )
+    )
+    if result.store_stats is not None:
+        print(f"\nstore: {result.store_stats}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    results = {}
+    for mode in (ServingMode.CACHED, ServingMode.RECOMPUTE):
+        results[mode] = _build_engine(args, mode).run(trace)
+    ca = results[ServingMode.CACHED]
+    re = results[ServingMode.RECOMPUTE]
+    rows = [
+        [label, ca_val, re_val]
+        for (label, ca_val), (_, re_val) in zip(
+            _summary_rows(ca), _summary_rows(re)
+        )
+    ]
+    print(
+        format_table(
+            ["metric", "CachedAttention", "recompute"],
+            rows,
+            title=f"{args.model} on {len(trace)} sessions",
+        )
+    )
+    model = get_model(args.model)
+    hardware = HardwareConfig().for_model(model)
+    store = StoreConfig(
+        dram_bytes=int(args.dram_gb * GiB), ssd_bytes=int(args.ssd_gb * GiB)
+    )
+    ca_cost = run_cost(ca, hardware, store)
+    re_cost = run_cost(re, hardware, store)
+    print(
+        f"\nTTFT reduction {percent(1 - ca.summary.mean_ttft / re.summary.mean_ttft)}, "
+        f"prefill speedup {ca.summary.prefill_throughput / re.summary.prefill_throughput:.2f}x, "
+        f"cost saving {percent(cost_saving(ca_cost, re_cost))}"
+    )
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    model = get_model(args.model)
+    plan = capacity_plan(model, trace, ttl_seconds=args.ttl)
+    rows = [
+        ["CCpS (GiB/session)", f"{plan.ccps_bytes / GiB:.2f}"],
+        ["DSpUT (sessions/TTL)", f"{plan.dsput:.0f}"],
+        ["CCpUT (GiB)", f"{plan.ccput_bytes / GiB:,.0f}"],
+        ["RCC @ 0.1 (GiB)", f"{plan.rcc_bytes(0.1) / GiB:,.0f}"],
+        ["RCC @ 0.25 (GiB)", f"{plan.rcc_bytes(0.25) / GiB:,.0f}"],
+    ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"capacity plan: {model.name}, TTL {args.ttl:.0f}s",
+        )
+    )
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    rows = [
+        [
+            spec.name,
+            f"{spec.n_params / 1e9:.0f}B",
+            spec.n_layers,
+            f"{spec.kv_bytes_per_token / 2**20:.2f}",
+            spec.context_window,
+            spec.default_num_gpus,
+        ]
+        for spec in MODEL_REGISTRY.values()
+    ]
+    print(
+        format_table(
+            ["model", "params", "layers", "KV MiB/token", "window", "GPUs"],
+            rows,
+            title="registered models",
+        )
+    )
+    return 0
+
+
+COMMANDS = {
+    "workload": cmd_workload,
+    "run": cmd_run,
+    "compare": cmd_compare,
+    "capacity": cmd_capacity,
+    "models": cmd_models,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

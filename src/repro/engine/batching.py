@@ -1,0 +1,115 @@
+"""Continuous-batching state (Orca-style iteration-level scheduling).
+
+The GPU serves one *batch* of decoding jobs; each iteration produces one
+token for every active job.  Newly arrived jobs must finish prefilling
+before joining the batch, and prefilling blocks decoding (the effect the
+paper highlights in Section 4.2's GPU-time discussion).
+
+The simulator advances decoding in *chunks* of up to ``chunk_iters``
+iterations between scheduling points, using the closed-form segment time
+from :class:`~repro.hardware.perf.PerfModel`, so a 50K-turn workload needs
+tens of thousands of events rather than millions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .metrics import TurnRecord
+from .request import TurnRequest
+
+
+@dataclass
+class ActiveJob:
+    """A job currently decoding in the batch."""
+
+    request: TurnRequest
+    record: TurnRecord
+    context_tokens: int  # prompt + tokens decoded so far
+    remaining_tokens: int  # decode tokens still to produce
+    reserved_tokens: int  # HBM reservation (prompt + planned generation)
+    decode_wall_start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.context_tokens <= 0:
+            raise ValueError(
+                f"context_tokens must be positive, got {self.context_tokens}"
+            )
+        if self.remaining_tokens <= 0:
+            raise ValueError(
+                f"remaining_tokens must be positive, got {self.remaining_tokens}"
+            )
+
+    @property
+    def session_id(self) -> int:
+        return self.request.session_id
+
+
+class BatchState:
+    """The set of jobs currently decoding, with O(1) aggregate context."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._jobs: dict[int, ActiveJob] = {}
+        self._context_sum = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._jobs) >= self.capacity
+
+    @property
+    def context_sum(self) -> int:
+        return self._context_sum
+
+    @property
+    def jobs(self) -> list[ActiveJob]:
+        return list(self._jobs.values())
+
+    def add(self, job: ActiveJob) -> None:
+        if self.is_full:
+            raise RuntimeError("batch is full")
+        if job.session_id in self._jobs:
+            raise ValueError(f"session {job.session_id} already in batch")
+        self._jobs[job.session_id] = job
+        self._context_sum += job.context_tokens
+
+    def min_remaining(self) -> int:
+        """Fewest decode tokens any active job still needs."""
+        if not self._jobs:
+            raise RuntimeError("batch is empty")
+        return min(j.remaining_tokens for j in self._jobs.values())
+
+    def advance(self, n_iterations: int) -> list[ActiveJob]:
+        """Run ``n_iterations`` decode iterations; return jobs that finish.
+
+        ``n_iterations`` must not exceed :meth:`min_remaining` — no job may
+        overshoot its response length.
+        """
+        if n_iterations <= 0:
+            raise ValueError(
+                f"n_iterations must be positive, got {n_iterations}"
+            )
+        if n_iterations > self.min_remaining():
+            raise ValueError(
+                f"advancing {n_iterations} iterations would overshoot a job "
+                f"with only {self.min_remaining()} tokens remaining"
+            )
+        finished: list[ActiveJob] = []
+        for job in self._jobs.values():
+            job.context_tokens += n_iterations
+            job.remaining_tokens -= n_iterations
+            if job.remaining_tokens == 0:
+                finished.append(job)
+        self._context_sum += n_iterations * len(self._jobs)
+        for job in finished:
+            del self._jobs[job.session_id]
+            self._context_sum -= job.context_tokens
+        return finished

@@ -1,0 +1,495 @@
+"""The LLM serving engine simulation: RE baseline and CachedAttention.
+
+One :class:`ServingEngine` replays a conversation trace against a single
+model deployment.  It combines:
+
+* a continuous-batching executor (prefill blocks decoding; decode advances
+  iteration-by-iteration for the whole batch — Orca-style);
+* per-turn context-window truncation (token truncation for RE, decoupled
+  KV truncation for CA, invalidation for the OF baseline);
+* in CA mode, an :class:`~repro.store.AttentionStore` holding inactive
+  sessions' KV caches, with scheduler-aware prefetch/eviction reading the
+  engine's job queue, layer-wise pre-loading of cache hits, and
+  asynchronous write-back of finished turns' KV.
+
+Timing comes from :class:`~repro.hardware.perf.PerfModel`; transfers
+contend on shared PCIe and SSD :class:`~repro.sim.Channel` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import (
+    EngineConfig,
+    HardwareConfig,
+    ServingMode,
+    StoreConfig,
+    TruncationPolicyName,
+)
+from ..hardware.perf import PerfModel
+from ..models import ModelSpec
+from ..sim.channel import Channel, ChannelPair
+from ..sim.loop import Simulator
+from ..store.attention_store import AttentionStore, LookupStatus, StoreStats
+from ..workload.trace import Conversation, Trace
+from .batching import ActiveJob, BatchState
+from .metrics import MetricsCollector, RunSummary, TurnOutcome, TurnRecord
+from .overlap import (
+    async_save_blocking_time,
+    layerwise_prefill_time,
+    no_preload_prefill_time,
+    sync_save_blocking_time,
+)
+from .queue import SchedulerQueue
+from .request import TurnRequest
+from .session import SessionState
+from .truncation import apply_context_window, clamp_decode_tokens
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything a benchmark needs from one serving run."""
+
+    summary: RunSummary
+    store_stats: StoreStats | None
+    pcie_bytes: int
+    ssd_bytes: int
+    events_processed: int
+    model_name: str
+    mode: ServingMode
+
+    @property
+    def is_cached(self) -> bool:
+        return self.mode is ServingMode.CACHED
+
+
+class ServingEngine:
+    """Simulated LLM serving engine for multi-turn conversation traces."""
+
+    TTL_SWEEP_INTERVAL = 120.0
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        hardware: HardwareConfig | None = None,
+        engine_config: EngineConfig | None = None,
+        store_config: StoreConfig | None = None,
+        warmup_turns: int = 0,
+    ) -> None:
+        self.model = model
+        self.hardware = hardware or HardwareConfig().for_model(model)
+        self.config = engine_config or EngineConfig(
+            batch_size=model.default_batch_size
+        )
+        self.perf = PerfModel(model, self.hardware)
+        self.sim = Simulator()
+        # PCIe is full duplex: host->device KV loads and device->host KV
+        # saves ride independent directions ("dedicated CUDA streams",
+        # Section 4.1), so they get separate channels.
+        self.pcie_h2d = Channel("pcie-h2d", self.hardware.pcie_bandwidth)
+        self.pcie_d2h = Channel("pcie-d2h", self.hardware.pcie_bandwidth)
+        self.ssd = Channel("ssd", self.hardware.ssd_bandwidth)
+        self.disk_path = ChannelPair(self.ssd, self.pcie_h2d)
+
+        self.store: AttentionStore | None = None
+        if self.config.mode is ServingMode.CACHED:
+            self.store = AttentionStore(
+                store_config or StoreConfig(),
+                model.kv_bytes_per_token,
+                ssd_channel=self.ssd,
+            )
+
+        self.queue = SchedulerQueue()
+        self.batch = BatchState(self.config.batch_size)
+        self.metrics = MetricsCollector(warmup_turns=warmup_turns)
+        self.sessions: dict[int, SessionState] = {}
+
+        self._gpu_busy = False
+        # Sessions currently admitted (prefilling or decoding): their store
+        # items are pinned against eviction — the item is about to be
+        # replaced at save time, so demoting it would only waste SSD writes
+        # (and a popped job is otherwise invisible to the queue view).
+        self._active_sessions: set[int] = set()
+        self._global_turn = 0
+        self._remaining_sessions = 0
+        self._hbm_budget_tokens = self._compute_hbm_budget_tokens()
+        self._hbm_reserved_tokens = 0
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _compute_hbm_budget_tokens(self) -> int:
+        """KV tokens that fit in HBM after weights and access buffers."""
+        free = self.hardware.free_hbm_bytes(self.model)
+        buffer_layers = self.config.read_buffer_layers + self.config.write_buffer_layers
+        buffer_fraction = min(0.5, buffer_layers / self.model.n_layers * 0.1)
+        hbm_cache = self.store.config.hbm_cache_bytes if self.store else 0
+        usable = int(free * (1.0 - buffer_fraction)) - hbm_cache
+        if usable <= 0:
+            raise ValueError("no HBM left for active KV caches after buffers")
+        return usable // self.model.kv_bytes_per_token
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> RunResult:
+        """Replay ``trace`` to completion and return aggregate results."""
+        if len(trace) == 0:
+            raise ValueError("cannot run an empty trace")
+        self._remaining_sessions = len(trace)
+        for conv in trace:
+            self.sim.at(conv.arrival_time, self._session_starter(conv))
+        if self.store is not None and self.store.config.ttl_seconds is not None:
+            self.sim.after(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+        self.sim.run()
+        return RunResult(
+            summary=self.metrics.summarise(),
+            store_stats=self.store.stats if self.store else None,
+            pcie_bytes=self.pcie_h2d.bytes_moved + self.pcie_d2h.bytes_moved,
+            ssd_bytes=self.ssd.bytes_moved,
+            events_processed=self.sim.events_processed,
+            model_name=self.model.name,
+            mode=self.config.mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Arrival path
+    # ------------------------------------------------------------------
+    def _session_starter(self, conv: Conversation):
+        def start() -> None:
+            session = SessionState(conversation=conv)
+            self.sessions[conv.session_id] = session
+            self._submit_next_turn(session)
+
+        return start
+
+    def _submit_next_turn(self, session: SessionState) -> None:
+        turn = session.conversation.turns[session.next_turn]
+        request = TurnRequest(
+            session_id=session.session_id,
+            turn_index=session.next_turn,
+            q_tokens=turn.q_tokens,
+            a_tokens=turn.a_tokens,
+            arrival_time=self.sim.now,
+            global_turn=self._global_turn,
+        )
+        self._global_turn += 1
+        self.queue.push(request)
+        self._prefetch()
+        self._dispatch()
+
+    def _prefetch(self) -> None:
+        if self.store is None:
+            return
+        pinned = frozenset(self._active_sessions)
+        for session_id, done in self.store.prefetch(self.queue, self.sim.now, pinned):
+            self.sim.at(
+                done,
+                lambda sid=session_id: self.store.complete_fetch(sid),  # type: ignore[union-attr]
+            )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self._gpu_busy:
+            return
+        if self.queue and not self.batch.is_full:
+            request = self.queue.peek()
+            assert request is not None
+            if self._fits_hbm(request):
+                self.queue.pop()
+                self._active_sessions.add(request.session_id)
+                self._prefetch()
+                self._start_prefill(request)
+                return
+        if self.batch:
+            self._start_decode_chunk()
+
+    def _fits_hbm(self, request: TurnRequest) -> bool:
+        session = self.sessions[request.session_id]
+        window = self.model.context_window
+        prompt_upper = min(session.history_tokens + request.q_tokens, window)
+        needed = prompt_upper + min(request.a_tokens, window)
+        return self._hbm_reserved_tokens + needed <= self._hbm_budget_tokens
+
+    # ------------------------------------------------------------------
+    # Prefill
+    # ------------------------------------------------------------------
+    def _start_prefill(self, request: TurnRequest) -> None:
+        session = self.sessions[request.session_id]
+        now = self.sim.now
+        outcome = apply_context_window(
+            session.history_tokens,
+            request.q_tokens,
+            self.model.context_window,
+            self.config.truncation_ratio,
+        )
+        dropped_from_history = session.history_tokens - outcome.history_tokens
+        if dropped_from_history:
+            session.record_truncation(dropped_from_history)
+            if self.store is not None:
+                # KV-cache truncation: keeps the cache valid only when the
+                # positions were decoupled at save time (Section 3.4).
+                self.store.truncate(request.session_id, outcome.history_tokens)
+
+        prompt = outcome.prompt_tokens
+        reused = 0
+        load_time = 0.0
+        turn_outcome = TurnOutcome.FIRST_TURN
+
+        if request.turn_index > 0:
+            turn_outcome = TurnOutcome.MISS
+            if self.store is not None and outcome.history_tokens > 0:
+                result = self.store.lookup(request.session_id, now)
+                if result.hit:
+                    turn_outcome = TurnOutcome.from_lookup(result.status)
+                    reused = min(result.n_tokens, outcome.history_tokens)
+                    load_time = self._kv_load_time(result.status, result.ready_at, reused)
+
+        new_tokens = prompt - reused
+        compute_time = (
+            self.perf.prefill_time(new_tokens, reused)
+            / self.config.prefill_efficiency_factor
+        )
+        if load_time == 0.0:
+            duration = compute_time
+        elif self.config.enable_preload:
+            duration = layerwise_prefill_time(
+                self.model.n_layers,
+                compute_time,
+                load_time,
+                self.config.read_buffer_layers,
+            )
+        else:
+            duration = no_preload_prefill_time(compute_time, load_time)
+
+        generate = clamp_decode_tokens(
+            prompt, request.a_tokens, self.model.context_window
+        )
+        chunk = self.config.chunked_prefill_tokens
+        if chunk is None or new_tokens <= chunk:
+            n_slices = 1
+        else:
+            n_slices = -(-new_tokens // chunk)  # ceil
+        record = TurnRecord(
+            session_id=request.session_id,
+            turn_index=request.turn_index,
+            global_turn=request.global_turn,
+            outcome=turn_outcome,
+            arrival_time=request.arrival_time,
+            prefill_start=now,
+            prompt_tokens=prompt,
+            new_tokens=new_tokens,
+            reused_tokens=reused,
+            generated_tokens=generate,
+            ttft=duration,
+            prefill_gpu_time=duration,
+            dropped_tokens=outcome.dropped_tokens,
+        )
+        job = ActiveJob(
+            request=request,
+            record=record,
+            context_tokens=prompt,
+            remaining_tokens=generate,
+            reserved_tokens=prompt + generate,
+        )
+        self._hbm_reserved_tokens += job.reserved_tokens
+        self._continue_prefill(job, n_slices, duration / n_slices)
+
+    def _continue_prefill(
+        self, job: ActiveJob, remaining_slices: int, slice_duration: float
+    ) -> None:
+        """Run one prefill slice (the whole prefill when not chunked)."""
+        self._gpu_occupy(slice_duration)
+        if len(self.batch) > 0:
+            # Decoding jobs are stalled for this slice (Section 4.2's
+            # blocking effect; chunked prefill bounds it).
+            self.metrics.record_decode_stall(slice_duration)
+        self.sim.after(
+            slice_duration,
+            lambda: self._on_prefill_slice_done(
+                job, remaining_slices - 1, slice_duration
+            ),
+        )
+
+    def _on_prefill_slice_done(
+        self, job: ActiveJob, remaining_slices: int, slice_duration: float
+    ) -> None:
+        self._gpu_release()
+        if remaining_slices == 0:
+            self._on_prefill_done(job)
+            return
+        if self.batch:
+            # Piggyback one decode chunk between prefill slices.
+            self._start_decode_chunk(
+                resume=lambda: self._continue_prefill(
+                    job, remaining_slices, slice_duration
+                )
+            )
+        else:
+            self._continue_prefill(job, remaining_slices, slice_duration)
+
+    def _kv_load_time(self, status: LookupStatus, ready_at: float, n_tokens: int) -> float:
+        """Duration to bring a session's KV into HBM, from lookup status."""
+        now = self.sim.now
+        n_bytes = self.model.kv_bytes(n_tokens)
+        if status is LookupStatus.HIT_HBM:
+            return 0.0
+        if status is LookupStatus.HIT_DRAM:
+            start = max(now, ready_at)
+            done = self.pcie_h2d.transfer(start, n_bytes)
+            return done - now
+        if status is LookupStatus.HIT_DISK:
+            done = self.disk_path.transfer(now, n_bytes)
+            return done - now
+        raise ValueError(f"no load for lookup status {status}")
+
+    def _on_prefill_done(self, job: ActiveJob) -> None:
+        # The GPU was already released by the final prefill slice handler.
+        job.decode_wall_start = self.sim.now
+        self.batch.add(job)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def _start_decode_chunk(self, resume=None) -> None:
+        """Run up to ``decode_chunk_iters`` iterations; afterwards call
+        ``resume`` (a paused chunked prefill) or re-enter dispatch."""
+        n_iters = min(self.config.decode_chunk_iters, self.batch.min_remaining())
+        duration = self.perf.decode_segment_time_from_sum(
+            self.batch.context_sum, len(self.batch), n_iters
+        )
+        batch_len = len(self.batch)
+        self._gpu_occupy(duration)
+        self.sim.after(
+            duration,
+            lambda: self._on_decode_chunk_done(n_iters, duration, batch_len, resume),
+        )
+
+    def _on_decode_chunk_done(
+        self, n_iters: int, duration: float, batch_len: int, resume=None
+    ) -> None:
+        self._gpu_release()
+        share = duration / batch_len
+        finished = self.batch.advance(n_iters)
+        for job in self.batch.jobs:
+            job.record.decode_gpu_share += share
+        blocking_total = 0.0
+        for job in finished:
+            job.record.decode_gpu_share += share
+            blocking_total += self._complete_turn(job)
+        if blocking_total > 0.0:
+            # Residual KV write-back blocks the GPU before the next job.
+            self._gpu_occupy(blocking_total)
+            self.sim.after(
+                blocking_total, lambda: self._on_save_block_done(resume)
+            )
+        elif resume is not None:
+            resume()
+        else:
+            self._dispatch()
+
+    def _on_save_block_done(self, resume=None) -> None:
+        self._gpu_release()
+        if resume is not None:
+            resume()
+        else:
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def _complete_turn(self, job: ActiveJob) -> float:
+        """Finish a turn; return any GPU blocking from KV saving."""
+        now = self.sim.now
+        session = self.sessions[job.session_id]
+        record = job.record
+        record.completion_time = now
+        self._hbm_reserved_tokens -= job.reserved_tokens
+
+        blocking = 0.0
+        if self.store is not None:
+            blocking = self._save_kv(job, session)
+        self._active_sessions.discard(job.session_id)
+        record.save_block_time = blocking
+        self.metrics.record_turn(record)
+
+        session.record_turn_served(record.prompt_tokens, record.generated_tokens)
+        if session.finished:
+            self._remaining_sessions -= 1
+        else:
+            think = session.conversation.turns[session.next_turn].think_time
+            self.sim.after(think, lambda: self._submit_next_turn(session))
+        return blocking
+
+    def _save_kv(self, job: ActiveJob, session: SessionState) -> float:
+        """Write the turn's newly produced KV to AttentionStore."""
+        assert self.store is not None
+        now = self.sim.now
+        record = job.record
+        total_tokens = record.prompt_tokens + record.generated_tokens
+        decoupled = self.config.truncation is TruncationPolicyName.KV_DECOUPLED
+
+        if self.store.config.hbm_cache_bytes > 0:
+            item = self.store.save_to_hbm_cache(
+                job.session_id,
+                total_tokens,
+                now,
+                queue=self.queue,
+                pinned=frozenset(self._active_sessions),
+            )
+        else:
+            item = self.store.save(
+                job.session_id,
+                total_tokens,
+                now,
+                queue=self.queue,
+                position_decoupled=decoupled,
+                pinned=frozenset(self._active_sessions),
+            )
+        if item is None:
+            return 0.0
+        if not decoupled:
+            item.position_decoupled = False
+
+        # Only the KV produced this turn crosses PCIe; reused history
+        # already lives in the store.
+        delta_tokens = record.new_tokens + record.generated_tokens
+        n_bytes = self.model.kv_bytes(delta_tokens)
+        save_time = self.pcie_d2h.duration(n_bytes)
+        self.pcie_d2h.transfer(now, n_bytes)
+        if self.config.enable_async_save:
+            overlap_window = max(0.0, now - job.decode_wall_start)
+            return async_save_blocking_time(
+                save_time,
+                overlap_window,
+                self.model.n_layers,
+                self.config.write_buffer_layers,
+            )
+        return sync_save_blocking_time(save_time)
+
+    # ------------------------------------------------------------------
+    # Background maintenance
+    # ------------------------------------------------------------------
+    def _ttl_sweep(self) -> None:
+        assert self.store is not None
+        self.store.sweep_expired(self.sim.now)
+        if self._remaining_sessions > 0:
+            self.sim.after(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+
+    # ------------------------------------------------------------------
+    # GPU occupancy bookkeeping
+    # ------------------------------------------------------------------
+    def _gpu_occupy(self, duration: float) -> None:
+        if self._gpu_busy:
+            raise RuntimeError("GPU already busy")
+        self._gpu_busy = True
+        self.metrics.record_gpu_busy(duration)
+
+    def _gpu_release(self) -> None:
+        if not self._gpu_busy:
+            raise RuntimeError("GPU was not busy")
+        self._gpu_busy = False

@@ -1,0 +1,215 @@
+"""Serving metrics: per-turn records and run-level aggregation.
+
+Definitions follow the paper's evaluation (Section 4.2):
+
+* **Cache hit rate** — fraction of *lookups* (turns with history; first
+  turns have nothing to look up) served from AttentionStore, split into
+  DRAM and disk hits.
+* **TTFT** — prefill execution time of a turn: KV loading (as overlapped)
+  plus computing the new tokens, i.e. how long the user waits for the
+  first output token once the job is scheduled.  Queueing delay is
+  recorded separately.
+* **Prefill throughput** — prompt tokens (historical + new, since reused
+  history counts as processed) per second of prefill GPU time.
+* **GPU time** — GPU busy seconds, decomposed into prefill, decode and
+  save blocking.
+
+Aggregates are computed over the turns after the warm-up prefix, matching
+the paper's "warm up with the first 10K turns, evaluate the following 42K".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..store.attention_store import LookupStatus
+
+
+class TurnOutcome(str, Enum):
+    """How a turn's historical KV was obtained."""
+
+    FIRST_TURN = "first-turn"  # no history: nothing to look up
+    HIT_HBM = "hit-hbm"
+    HIT_DRAM = "hit-dram"
+    HIT_DISK = "hit-disk"
+    MISS = "miss"  # history existed but had to be recomputed
+
+    @classmethod
+    def from_lookup(cls, status: LookupStatus) -> "TurnOutcome":
+        return {
+            LookupStatus.HIT_HBM: cls.HIT_HBM,
+            LookupStatus.HIT_DRAM: cls.HIT_DRAM,
+            LookupStatus.HIT_DISK: cls.HIT_DISK,
+            LookupStatus.MISS: cls.MISS,
+        }[status]
+
+    @property
+    def is_hit(self) -> bool:
+        return self in (self.HIT_HBM, self.HIT_DRAM, self.HIT_DISK)
+
+
+@dataclass
+class TurnRecord:
+    """Everything measured about one served turn."""
+
+    session_id: int
+    turn_index: int
+    global_turn: int
+    outcome: TurnOutcome
+    arrival_time: float
+    prefill_start: float
+    prompt_tokens: int
+    new_tokens: int  # tokens actually prefilled (computed)
+    reused_tokens: int  # tokens loaded from AttentionStore
+    generated_tokens: int
+    ttft: float  # prefill execution time
+    prefill_gpu_time: float
+    decode_gpu_share: float = 0.0
+    save_block_time: float = 0.0
+    completion_time: float = 0.0
+    dropped_tokens: int = 0  # context-window truncation this turn
+    in_eval_window: bool = True
+
+    @property
+    def queue_delay(self) -> float:
+        return self.prefill_start - self.arrival_time
+
+    @property
+    def gpu_time(self) -> float:
+        return self.prefill_gpu_time + self.decode_gpu_share + self.save_block_time
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Aggregated results of one serving run (over the evaluation window,
+    except where noted)."""
+
+    n_turns: int
+    n_lookups: int
+    hits_dram: int
+    hits_disk: int
+    hits_hbm: int
+    misses: int
+    mean_ttft: float
+    p95_ttft: float
+    mean_queue_delay: float
+    prompt_tokens_total: int
+    new_tokens_total: int
+    reused_tokens_total: int
+    generated_tokens_total: int
+    prefill_gpu_time: float
+    decode_gpu_time: float
+    save_block_time: float
+    overflow_dropped_tokens: int
+    # Decode-stall statistics (time decoding jobs spent blocked behind a
+    # prefill; whole run):
+    max_decode_stall: float
+    decode_stall_time: float
+    # Whole-run figures (warm-up included), for cost accounting:
+    total_gpu_busy_time: float
+    makespan: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Overall AttentionStore hit rate over lookups."""
+        if self.n_lookups == 0:
+            return 0.0
+        return (self.hits_dram + self.hits_disk + self.hits_hbm) / self.n_lookups
+
+    @property
+    def dram_hit_rate(self) -> float:
+        return self.hits_dram / self.n_lookups if self.n_lookups else 0.0
+
+    @property
+    def disk_hit_rate(self) -> float:
+        return self.hits_disk / self.n_lookups if self.n_lookups else 0.0
+
+    @property
+    def gpu_time(self) -> float:
+        """Eval-window GPU seconds (prefill + decode + save blocking)."""
+        return self.prefill_gpu_time + self.decode_gpu_time + self.save_block_time
+
+    @property
+    def prefill_throughput(self) -> float:
+        """Prompt tokens (incl. reused history) per prefill GPU second."""
+        if self.prefill_gpu_time == 0:
+            return 0.0
+        return self.prompt_tokens_total / self.prefill_gpu_time
+
+
+class MetricsCollector:
+    """Accumulates :class:`TurnRecord` entries and summarises a run."""
+
+    def __init__(self, warmup_turns: int = 0) -> None:
+        if warmup_turns < 0:
+            raise ValueError(f"warmup_turns must be >= 0, got {warmup_turns}")
+        self.warmup_turns = warmup_turns
+        self.records: list[TurnRecord] = []
+        self._gpu_busy_total = 0.0
+        self._max_decode_stall = 0.0
+        self._decode_stall_total = 0.0
+        self._first_arrival: float | None = None
+        self._last_completion = 0.0
+
+    def record_turn(self, record: TurnRecord) -> None:
+        record.in_eval_window = record.global_turn >= self.warmup_turns
+        self.records.append(record)
+        if self._first_arrival is None or record.arrival_time < self._first_arrival:
+            self._first_arrival = record.arrival_time
+        self._last_completion = max(self._last_completion, record.completion_time)
+
+    def record_gpu_busy(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self._gpu_busy_total += seconds
+
+    def record_decode_stall(self, seconds: float) -> None:
+        """Time the decoding batch spent blocked behind a prefill slice."""
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        self._max_decode_stall = max(self._max_decode_stall, seconds)
+        self._decode_stall_total += seconds
+
+    def summarise(self) -> RunSummary:
+        """Aggregate over the evaluation window."""
+        evals = [r for r in self.records if r.in_eval_window]
+        ttfts = sorted(r.ttft for r in evals)
+        n = len(ttfts)
+        outcome_counts = {outcome: 0 for outcome in TurnOutcome}
+        for r in evals:
+            outcome_counts[r.outcome] += 1
+        n_lookups = sum(
+            count
+            for outcome, count in outcome_counts.items()
+            if outcome is not TurnOutcome.FIRST_TURN
+        )
+        return RunSummary(
+            n_turns=n,
+            n_lookups=n_lookups,
+            hits_dram=outcome_counts[TurnOutcome.HIT_DRAM],
+            hits_disk=outcome_counts[TurnOutcome.HIT_DISK],
+            hits_hbm=outcome_counts[TurnOutcome.HIT_HBM],
+            misses=outcome_counts[TurnOutcome.MISS],
+            mean_ttft=sum(ttfts) / n if n else 0.0,
+            p95_ttft=ttfts[min(n - 1, int(0.95 * n))] if n else 0.0,
+            mean_queue_delay=(
+                sum(r.queue_delay for r in evals) / n if n else 0.0
+            ),
+            prompt_tokens_total=sum(r.prompt_tokens for r in evals),
+            new_tokens_total=sum(r.new_tokens for r in evals),
+            reused_tokens_total=sum(r.reused_tokens for r in evals),
+            generated_tokens_total=sum(r.generated_tokens for r in evals),
+            prefill_gpu_time=sum(r.prefill_gpu_time for r in evals),
+            decode_gpu_time=sum(r.decode_gpu_share for r in evals),
+            save_block_time=sum(r.save_block_time for r in evals),
+            overflow_dropped_tokens=sum(r.dropped_tokens for r in evals),
+            max_decode_stall=self._max_decode_stall,
+            decode_stall_time=self._decode_stall_total,
+            total_gpu_busy_time=self._gpu_busy_total,
+            makespan=(
+                self._last_completion - self._first_arrival
+                if self._first_arrival is not None
+                else 0.0
+            ),
+        )

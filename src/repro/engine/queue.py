@@ -1,0 +1,88 @@
+"""The inference job scheduler's waiting queue.
+
+The queue is FIFO, but — crucially for CachedAttention — it is also the
+*look-ahead oracle*: AttentionStore's scheduler-aware fetching and eviction
+(Section 3.3) read upcoming jobs from it through the
+:class:`~repro.store.policy.QueueView` protocol.  Position queries are O(1)
+via monotonically increasing sequence numbers (a session has at most one
+waiting job at a time, since the next turn only arrives after the previous
+response).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import islice
+from typing import Iterator
+
+from .request import TurnRequest
+
+
+class SchedulerQueue:
+    """FIFO job queue with O(1) look-ahead position queries."""
+
+    def __init__(self) -> None:
+        self._queue: deque[TurnRequest] = deque()
+        self._seq_by_session: dict[int, int] = {}
+        self._next_seq = 0
+        self._head_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def push(self, request: TurnRequest) -> None:
+        """Append a job to the queue tail.
+
+        Raises:
+            ValueError: if the session already has a waiting job.
+        """
+        if request.session_id in self._seq_by_session:
+            raise ValueError(
+                f"session {request.session_id} already has a waiting job"
+            )
+        request.seq = self._next_seq
+        self._next_seq += 1
+        self._seq_by_session[request.session_id] = request.seq
+        self._queue.append(request)
+
+    def pop(self) -> TurnRequest:
+        """Remove and return the job at the queue head.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        request = self._queue.popleft()
+        del self._seq_by_session[request.session_id]
+        if self._queue:
+            self._head_seq = self._queue[0].seq
+        else:
+            self._head_seq = self._next_seq
+        return request
+
+    def peek(self) -> TurnRequest | None:
+        return self._queue[0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # QueueView protocol (scheduler hints for AttentionStore)
+    # ------------------------------------------------------------------
+    def position(self, session_id: int) -> int | None:
+        """Approximate distance of a session's waiting job from the head.
+
+        Exact whenever no job has left the queue out of order — which is
+        always, since the queue is strictly FIFO.
+        """
+        seq = self._seq_by_session.get(session_id)
+        if seq is None:
+            return None
+        return seq - self._head_seq
+
+    def head_window(self, k: int) -> Iterator[int]:
+        """Session ids of the first ``k`` waiting jobs, head first."""
+        return (r.session_id for r in islice(self._queue, k))
+
+    def tail_window(self, k: int) -> Iterator[int]:
+        """Session ids of the last ``k`` waiting jobs, tail first."""
+        return (r.session_id for r in islice(reversed(self._queue), k))

@@ -1,0 +1,32 @@
+"""Inference jobs: one conversation turn each."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TurnRequest:
+    """A job submitted to the serving engine for one conversation turn.
+
+    ``seq`` is assigned by the scheduler queue on enqueue and orders jobs
+    globally (used for look-ahead window positions).
+    """
+
+    session_id: int
+    turn_index: int
+    q_tokens: int
+    a_tokens: int
+    arrival_time: float
+    global_turn: int
+    seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.q_tokens <= 0:
+            raise ValueError(f"q_tokens must be positive, got {self.q_tokens}")
+        if self.a_tokens <= 0:
+            raise ValueError(f"a_tokens must be positive, got {self.a_tokens}")
+
+    @property
+    def is_first_turn(self) -> bool:
+        return self.turn_index == 0

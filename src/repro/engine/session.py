@@ -1,0 +1,57 @@
+"""Conversation session state tracked by the serving engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..workload.trace import Conversation
+
+
+@dataclass
+class SessionState:
+    """Mutable per-session serving state.
+
+    ``history_tokens`` is the session context visible to the *next* turn —
+    all question/answer tokens so far, minus anything removed by context-
+    window truncation.  It equals the number of tokens whose KV cache the
+    engine would reuse on a perfect cache hit.
+    """
+
+    conversation: Conversation
+    next_turn: int = 0
+    history_tokens: int = 0
+    truncated_tokens_total: int = 0
+    overflow_events: int = 0
+
+    @property
+    def session_id(self) -> int:
+        return self.conversation.session_id
+
+    @property
+    def finished(self) -> bool:
+        return self.next_turn >= self.conversation.n_turns
+
+    def record_turn_served(self, prompt_tokens: int, generated_tokens: int) -> None:
+        """Advance past the current turn.
+
+        Args:
+            prompt_tokens: context length after prefill (history after any
+                truncation plus the new question tokens).
+            generated_tokens: response tokens actually decoded.
+        """
+        if self.finished:
+            raise RuntimeError(
+                f"session {self.session_id} has no turns left to serve"
+            )
+        self.history_tokens = prompt_tokens + generated_tokens
+        self.next_turn += 1
+
+    def record_truncation(self, dropped_tokens: int) -> None:
+        if dropped_tokens < 0:
+            raise ValueError(f"dropped_tokens must be >= 0, got {dropped_tokens}")
+        if dropped_tokens:
+            self.truncated_tokens_total += dropped_tokens
+            self.overflow_events += 1
+            self.history_tokens -= dropped_tokens
+            if self.history_tokens < 0:
+                raise RuntimeError("truncated more history than the session has")

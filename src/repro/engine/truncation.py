@@ -1,0 +1,93 @@
+"""Context-window overflow handling (Sections 2.4, 3.4).
+
+When a session's prompt (history + new question) exceeds the model's
+context window, serving engines truncate the oldest tokens.  The paper's
+truncation ratio of 0.5 means each overflow discards the earliest
+``window * 0.5`` tokens.
+
+Three strategies differ in what happens to any *stored* KV cache:
+
+* ``TOKEN`` (TT): truncate the token history and recompute everything —
+  the RE baseline; nothing is stored, so nothing is invalidated.
+* ``KV_DECOUPLED`` (CA): KV was stored without positional encodings, so
+  the store truncates the cached KV directly and it stays reusable.
+* ``KV_EMBEDDED`` (OF): KV was stored *with* positions embedded; any
+  truncation scrambles them, so the stored cache must be invalidated and
+  the truncated prompt recomputed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TruncationOutcome:
+    """Result of applying the context-window policy to a turn's prompt."""
+
+    history_tokens: int
+    q_tokens: int
+    dropped_tokens: int
+
+    @property
+    def prompt_tokens(self) -> int:
+        return self.history_tokens + self.q_tokens
+
+    @property
+    def overflowed(self) -> bool:
+        return self.dropped_tokens > 0
+
+
+def apply_context_window(
+    history_tokens: int,
+    q_tokens: int,
+    context_window: int,
+    truncation_ratio: float,
+) -> TruncationOutcome:
+    """Truncate the oldest history so the prompt fits the context window.
+
+    Each overflow event discards the earliest ``context_window *
+    truncation_ratio`` tokens (Section 4.1: ratio 0.5 — "discard the
+    earliest half of the tokens"), repeating if one cut is not enough.
+    If the new question alone exceeds the window it is clamped to the
+    window (the serving engine cannot accept a longer prompt).
+    """
+    if history_tokens < 0:
+        raise ValueError(f"history_tokens must be >= 0, got {history_tokens}")
+    if q_tokens <= 0:
+        raise ValueError(f"q_tokens must be positive, got {q_tokens}")
+    if context_window <= 0:
+        raise ValueError(f"context_window must be positive, got {context_window}")
+    if not (0.0 < truncation_ratio < 1.0):
+        raise ValueError(
+            f"truncation_ratio must be in (0, 1), got {truncation_ratio}"
+        )
+
+    q = min(q_tokens, context_window)
+    dropped = q_tokens - q
+    history = history_tokens
+    cut = max(1, int(context_window * truncation_ratio))
+    while history > 0 and history + q > context_window:
+        step = min(history, cut)
+        history -= step
+        dropped += step
+    return TruncationOutcome(
+        history_tokens=history, q_tokens=q, dropped_tokens=dropped
+    )
+
+
+def clamp_decode_tokens(
+    prompt_tokens: int, a_tokens: int, context_window: int
+) -> int:
+    """Response tokens the engine can actually generate this turn.
+
+    Generation cannot extend the context past the window; at least one
+    token is always produced (the model emits *something* before any
+    stopping logic applies).
+    """
+    if prompt_tokens <= 0:
+        raise ValueError(f"prompt_tokens must be positive, got {prompt_tokens}")
+    if a_tokens <= 0:
+        raise ValueError(f"a_tokens must be positive, got {a_tokens}")
+    room = context_window - prompt_tokens
+    return max(1, min(a_tokens, room))

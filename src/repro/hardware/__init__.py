@@ -1,0 +1,6 @@
+"""Hardware performance modelling (roofline latency model)."""
+
+from ..config import GPUSpec, HardwareConfig
+from .perf import PerfModel
+
+__all__ = ["GPUSpec", "HardwareConfig", "PerfModel"]

@@ -1,0 +1,94 @@
+"""A trainable NumPy transformer with decoupled-PE KV caching (Tables 1-2)."""
+
+from .adam import Adam
+from .corpus import (
+    CHARS,
+    COPY_CORPORA,
+    VOCAB_SIZE,
+    CopyCorpusSpec,
+    KVDocument,
+    decode,
+    encode,
+    make_copy_corpus,
+    make_copy_document,
+    make_kv_corpus,
+    make_kv_document,
+    training_batches,
+    training_batches_padded,
+)
+from .compression import (
+    CompressionResult,
+    CompressionStrategy,
+    attention_importance,
+    compress_cache,
+    evaluate_compression,
+    make_tdl,
+    select_cache,
+)
+from .evaluate import (
+    OverflowEvalResult,
+    Scheme,
+    evaluate_corpus,
+    evaluate_with_overflow,
+)
+from .kvcache import KVCache, LayerKVCache, PEMode
+from .longeval import (
+    RecallCase,
+    RetrievalBenchResult,
+    make_recall_case,
+    make_retrieval_case,
+    run_retrieval_benchmark,
+    run_word_recall_benchmark,
+)
+from .rope import apply_rope, rope_angles, unapply_rope
+from .serving import SessionRecord, TinyChatServer, TurnResult
+from .train import TrainConfig, make_trained_model, train_model
+from .transformer import ModelConfig, TinyTransformer
+
+__all__ = [
+    "Adam",
+    "CHARS",
+    "COPY_CORPORA",
+    "CompressionResult",
+    "CompressionStrategy",
+    "CopyCorpusSpec",
+    "KVCache",
+    "KVDocument",
+    "LayerKVCache",
+    "ModelConfig",
+    "OverflowEvalResult",
+    "PEMode",
+    "RecallCase",
+    "RetrievalBenchResult",
+    "Scheme",
+    "SessionRecord",
+    "TinyChatServer",
+    "TinyTransformer",
+    "TrainConfig",
+    "TurnResult",
+    "VOCAB_SIZE",
+    "apply_rope",
+    "attention_importance",
+    "compress_cache",
+    "decode",
+    "encode",
+    "evaluate_compression",
+    "evaluate_corpus",
+    "evaluate_with_overflow",
+    "make_copy_corpus",
+    "make_copy_document",
+    "make_kv_corpus",
+    "make_kv_document",
+    "make_recall_case",
+    "make_retrieval_case",
+    "make_tdl",
+    "make_trained_model",
+    "rope_angles",
+    "run_retrieval_benchmark",
+    "run_word_recall_benchmark",
+    "select_cache",
+    "train_model",
+    "training_batches",
+    "training_batches_padded",
+    "unapply_rope",
+]

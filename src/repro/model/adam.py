@@ -1,0 +1,48 @@
+"""Adam optimizer for the NumPy transformer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Standard Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def step(
+        self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]
+    ) -> None:
+        """Apply one update in place."""
+        self.t += 1
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for name, g in grads.items():
+            if name not in params:
+                raise KeyError(f"gradient for unknown parameter {name!r}")
+            m = self.m[name]
+            v = self.v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            update = (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+            params[name] -= (self.lr * update).astype(params[name].dtype)

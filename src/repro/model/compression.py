@@ -1,0 +1,239 @@
+"""KV-cache compression via token discarding lists (TDLs).
+
+Section 3.4 of the paper: "CachedAttention also allows for selective
+preservation of certain KV cache for compression, e.g., the initial tokens
+with important scores or important tokens ... a given KV cache compression
+technique essentially provides a methodology for creating a token
+discarding list (TDL) ... CachedAttention straightforwardly complies with
+the TDL, discarding the KV cache associated with the TDL."
+
+This module makes that hook concrete on the NumPy transformer:
+
+* :func:`attention_importance` — H2O-style accumulated-attention scores
+  (how much attention mass each position has received);
+* :func:`make_tdl` — turn scores into a discard list, protecting the
+  initial *attention sink* tokens (StreamingLLM) and the most recent ones;
+* :func:`KVCache`-level application via :func:`compress_cache` — possible
+  only for decoupled-PE caches, since surviving tokens are re-numbered;
+* :func:`evaluate_compression` — perplexity of continuations after
+  compressing the prompt cache with different strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .functional import softmax, token_nll
+from .kvcache import KVCache, PEMode
+from .rope import apply_rope
+from .transformer import TinyTransformer
+
+
+class CompressionStrategy(str, Enum):
+    """How the discard list is chosen."""
+
+    TDL_ATTENTION = "tdl-attention"  # drop lowest accumulated attention
+    RECENT_ONLY = "recent-only"  # drop oldest (plain truncation)
+    RANDOM = "random"  # drop uniformly at random
+
+
+def attention_importance(model: TinyTransformer, tokens: np.ndarray) -> np.ndarray:
+    """Accumulated-attention importance score per position.
+
+    Runs a full forward pass and sums, over all layers, heads and query
+    positions, the attention probability each key position receives —
+    the heavy-hitter statistic of H2O / Scissorhands.
+
+    Args:
+        model: a (trained) transformer.
+        tokens: (S,) token ids.
+
+    Returns:
+        (S,) non-negative scores, higher = more attended.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 1 or tokens.shape[0] < 1:
+        raise ValueError("need a 1-D token sequence")
+    c = model.config
+    p = model.params
+    s = tokens.shape[0]
+    positions = np.arange(s)
+    mask = np.triu(np.full((s, s), -np.inf, dtype=model.dtype), k=1)
+    from .functional import gelu, rmsnorm  # local to avoid cycles at import
+
+    scores_sum = np.zeros(s, dtype=np.float64)
+    x = p["emb"][tokens]
+    for i in range(c.n_layers):
+        a, _ = rmsnorm(x, p[f"l{i}.ln1"])
+        q = (a @ p[f"l{i}.wq"]).reshape(s, c.n_heads, c.head_dim).transpose(1, 0, 2)
+        k = (a @ p[f"l{i}.wk"]).reshape(s, c.n_heads, c.head_dim).transpose(1, 0, 2)
+        v = (a @ p[f"l{i}.wv"]).reshape(s, c.n_heads, c.head_dim).transpose(1, 0, 2)
+        qr = apply_rope(q, positions, c.rope_base)
+        kr = apply_rope(k, positions, c.rope_base)
+        att = softmax(qr @ kr.transpose(0, 2, 1) / np.sqrt(c.head_dim) + mask)
+        scores_sum += att.sum(axis=(0, 1))  # mass received per key position
+        merged = (att @ v).transpose(1, 0, 2).reshape(s, c.d_model)
+        x = x + merged @ p[f"l{i}.wo"]
+        h, _ = rmsnorm(x, p[f"l{i}.ln2"])
+        act, _ = gelu(h @ p[f"l{i}.w1"])
+        x = x + act @ p[f"l{i}.w2"]
+    return scores_sum
+
+
+def make_tdl(
+    importance: np.ndarray,
+    n_discard: int,
+    protect_initial: int = 4,
+    protect_recent: int = 8,
+) -> np.ndarray:
+    """Build a token discarding list from importance scores.
+
+    The lowest-scoring positions are discarded, never touching the first
+    ``protect_initial`` tokens (attention sinks) or the last
+    ``protect_recent`` tokens (local context).
+
+    Returns:
+        Sorted indices of the positions to discard.
+    """
+    importance = np.asarray(importance, dtype=np.float64)
+    s = importance.shape[0]
+    if n_discard < 0:
+        raise ValueError(f"n_discard must be >= 0, got {n_discard}")
+    droppable = np.arange(s)[protect_initial : s - protect_recent if protect_recent else s]
+    if n_discard > droppable.shape[0]:
+        raise ValueError(
+            f"cannot discard {n_discard} of {droppable.shape[0]} droppable tokens"
+        )
+    if n_discard == 0:
+        return np.array([], dtype=np.int64)
+    order = droppable[np.argsort(importance[droppable], kind="stable")]
+    return np.sort(order[:n_discard])
+
+
+def select_cache(cache: KVCache, keep_indices: np.ndarray) -> KVCache:
+    """Build a new cache containing only ``keep_indices`` (in order).
+
+    Only valid for decoupled-PE caches: survivors are re-numbered
+    0..k-1, exactly the operation AttentionStore performs when applying a
+    TDL (Section 3.4).
+    """
+    if cache.mode is not PEMode.DECOUPLED:
+        raise ValueError(
+            "TDL compression requires a decoupled-PE cache; embedded "
+            "positions cannot be re-numbered"
+        )
+    keep_indices = np.asarray(keep_indices, dtype=np.int64)
+    if keep_indices.size and (
+        keep_indices.min() < 0 or keep_indices.max() >= len(cache)
+    ):
+        raise IndexError("keep index out of range")
+    first = cache.layers[0]
+    out = KVCache(
+        cache.n_layers, first.n_heads, first.head_dim, PEMode.DECOUPLED,
+        dtype=first.dtype,
+    )
+    new_positions = np.arange(keep_indices.shape[0])
+    for src, dst in zip(cache.layers, out.layers):
+        dst.append(
+            src.k[:, keep_indices, :], src.v[:, keep_indices, :], new_positions
+        )
+    return out
+
+
+def compress_cache(
+    model: TinyTransformer,
+    tokens: np.ndarray,
+    cache: KVCache,
+    keep_ratio: float,
+    strategy: CompressionStrategy,
+    rng: np.random.Generator | None = None,
+) -> KVCache:
+    """Compress ``cache`` (built from ``tokens``) down to ``keep_ratio``."""
+    if not (0.0 < keep_ratio <= 1.0):
+        raise ValueError(f"keep_ratio must be in (0, 1], got {keep_ratio}")
+    s = len(cache)
+    n_keep = max(1, int(round(s * keep_ratio)))
+    n_discard = s - n_keep
+    if n_discard == 0:
+        return cache
+    if strategy is CompressionStrategy.TDL_ATTENTION:
+        importance = attention_importance(model, tokens[:s])
+        protect_recent = min(8, n_keep)
+        protect_initial = min(4, max(0, n_keep - protect_recent))
+        tdl = make_tdl(
+            importance, n_discard,
+            protect_initial=protect_initial,
+            protect_recent=protect_recent,
+        )
+    elif strategy is CompressionStrategy.RECENT_ONLY:
+        tdl = np.arange(n_discard)
+    elif strategy is CompressionStrategy.RANDOM:
+        rng = rng or np.random.default_rng(0)
+        tdl = np.sort(rng.choice(s, size=n_discard, replace=False))
+    else:
+        raise ValueError(f"unknown strategy {strategy}")
+    keep = np.setdiff1d(np.arange(s), tdl)
+    return select_cache(cache, keep)
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Continuation quality after compressing the prompt cache."""
+
+    strategy: CompressionStrategy
+    keep_ratio: float
+    nll_sum: float
+    n_predicted: int
+
+    @property
+    def perplexity(self) -> float:
+        if self.n_predicted == 0:
+            return 0.0
+        return float(np.exp(self.nll_sum / self.n_predicted))
+
+
+def evaluate_compression(
+    model: TinyTransformer,
+    documents: list[np.ndarray],
+    keep_ratio: float,
+    strategy: CompressionStrategy,
+    prompt_fraction: float = 0.6,
+    seed: int = 0,
+) -> CompressionResult:
+    """PPL of document continuations given a compressed prompt cache.
+
+    Each document is split into a prompt and a continuation; the prompt's
+    KV cache is compressed with ``strategy`` and the continuation is scored
+    against it.
+    """
+    if not documents:
+        raise ValueError("no documents")
+    if not (0.0 < prompt_fraction < 1.0):
+        raise ValueError(
+            f"prompt_fraction must be in (0, 1), got {prompt_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    nll_sum = 0.0
+    n_pred = 0
+    for doc in documents:
+        doc = np.asarray(doc)
+        split = max(1, int(doc.shape[0] * prompt_fraction))
+        prompt, continuation = doc[:split], doc[split:]
+        if continuation.shape[0] < 2:
+            continue
+        cache = model.new_cache(PEMode.DECOUPLED)
+        model.forward_with_cache(prompt, cache)
+        cache = compress_cache(model, prompt, cache, keep_ratio, strategy, rng)
+        logits = model.forward_with_cache(continuation[:-1], cache)
+        nll = token_nll(logits, continuation[1:])
+        nll_sum += float(nll.sum())
+        n_pred += nll.shape[0]
+    return CompressionResult(
+        strategy=strategy,
+        keep_ratio=keep_ratio,
+        nll_sum=nll_sum,
+        n_predicted=n_pred,
+    )

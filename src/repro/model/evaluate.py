@@ -1,0 +1,190 @@
+"""Quality evaluation under context-window overflow (Tables 1-2).
+
+Three truncation schemes are compared when a document exceeds the model's
+context window (the paper's Section 4.3.5 setup):
+
+* **TT** (token truncation): keep the most recent tokens and *recompute*
+  their KV cache from scratch — the quality reference, at full
+  recomputation cost.
+* **CA** (CachedAttention): the KV cache was stored with positions
+  decoupled; drop the oldest cache entries and re-embed fresh positions.
+  No recomputation.
+* **NKVT** (naive KV truncation): the KV cache has positions embedded;
+  dropping entries leaves stale rotations behind while queries restart at
+  small positions — relative distances are scrambled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from .functional import token_nll
+from .kvcache import KVCache, PEMode
+from .transformer import TinyTransformer
+
+
+class Scheme(str, Enum):
+    """Context-overflow handling schemes of Section 4.3.5."""
+
+    CA = "ca"
+    TT = "tt"
+    NKVT = "nkvt"
+
+
+@dataclass(frozen=True)
+class OverflowEvalResult:
+    """Per-document evaluation outcome."""
+
+    nll_sum: float
+    n_predicted: int
+    n_correct: int
+    n_truncations: int
+
+    @property
+    def mean_nll(self) -> float:
+        return self.nll_sum / self.n_predicted if self.n_predicted else 0.0
+
+    @property
+    def perplexity(self) -> float:
+        return float(np.exp(self.mean_nll))
+
+    @property
+    def accuracy(self) -> float:
+        return self.n_correct / self.n_predicted if self.n_predicted else 0.0
+
+
+def _truncate_keep(window: int, ratio: float) -> int:
+    """Tokens kept after one truncation (paper ratio 0.5: drop the
+    earliest ``window * ratio``)."""
+    keep = window - int(window * ratio)
+    return max(1, keep)
+
+
+def evaluate_with_overflow(
+    model: TinyTransformer,
+    tokens: np.ndarray,
+    scheme: Scheme,
+    window: int | None = None,
+    truncation_ratio: float = 0.5,
+    block_size: int = 16,
+    positions_of_interest: np.ndarray | None = None,
+) -> OverflowEvalResult:
+    """Stream a document through the model, truncating on overflow.
+
+    Tokens are fed in blocks; before a block would push the cache past the
+    context window, the scheme's truncation is applied.  Every fed token
+    (except the first) is scored: NLL of the true next token and top-1
+    correctness.
+
+    Args:
+        model: a trained :class:`TinyTransformer`.
+        tokens: (N,) document token ids.
+        scheme: how overflow is handled.
+        window: context window; defaults to the model's configuration.
+        truncation_ratio: fraction of the window dropped per overflow.
+        block_size: tokens fed per step (1 reproduces pure decoding).
+        positions_of_interest: if given, only predictions *at* these token
+            indices count towards the statistics (used by the retrieval
+            benchmark); otherwise every predicted token counts.
+
+    Returns:
+        Aggregated NLL / accuracy statistics for the document.
+    """
+    tokens = np.asarray(tokens)
+    if tokens.ndim != 1 or tokens.shape[0] < 2:
+        raise ValueError("need a 1-D document with at least 2 tokens")
+    window = window or model.config.context_window
+    if block_size <= 0 or block_size > window:
+        raise ValueError(
+            f"block_size must be in [1, window], got {block_size} vs {window}"
+        )
+    interest: set[int] | None = None
+    if positions_of_interest is not None:
+        interest = {int(i) for i in positions_of_interest}
+
+    mode = PEMode.EMBEDDED if scheme is Scheme.NKVT else PEMode.DECOUPLED
+    cache = model.new_cache(mode)
+    history: list[int] = []  # token ids currently represented in the cache
+    keep = _truncate_keep(window, truncation_ratio)
+
+    nll_sum = 0.0
+    n_predicted = 0
+    n_correct = 0
+    n_truncations = 0
+
+    cursor = 0
+    n = tokens.shape[0]
+    while cursor < n:
+        block = tokens[cursor : cursor + block_size]
+        if len(cache) + block.shape[0] > window:
+            n_truncations += 1
+            if scheme is Scheme.TT:
+                # Token truncation + full recomputation.
+                history = history[-keep:]
+                cache = model.new_cache(PEMode.DECOUPLED)
+                if history:
+                    model.forward_with_cache(np.array(history), cache)
+            else:
+                # Direct KV-cache truncation (valid for CA, scrambled for
+                # NKVT whose rotations stay at their original positions).
+                cache.truncate(keep)
+                history = history[-keep:]
+
+        logits = model.forward_with_cache(block, cache)
+        history.extend(int(t) for t in block)
+
+        # Score predictions of each block token's successor (within block),
+        # plus the first token of the *next* block via the last logit row.
+        next_targets = tokens[cursor + 1 : cursor + block.shape[0] + 1]
+        n_score = next_targets.shape[0]
+        if n_score:
+            rows = logits[:n_score]
+            nlls = token_nll(rows, next_targets)
+            preds = rows.argmax(axis=1)
+            for j in range(n_score):
+                target_index = cursor + 1 + j
+                if interest is not None and target_index not in interest:
+                    continue
+                nll_sum += float(nlls[j])
+                n_predicted += 1
+                n_correct += int(preds[j] == next_targets[j])
+        cursor += block.shape[0]
+
+    return OverflowEvalResult(
+        nll_sum=nll_sum,
+        n_predicted=n_predicted,
+        n_correct=n_correct,
+        n_truncations=n_truncations,
+    )
+
+
+def evaluate_corpus(
+    model: TinyTransformer,
+    documents: list[np.ndarray],
+    scheme: Scheme,
+    window: int | None = None,
+    truncation_ratio: float = 0.5,
+    block_size: int = 16,
+) -> OverflowEvalResult:
+    """Aggregate :func:`evaluate_with_overflow` over many documents."""
+    if not documents:
+        raise ValueError("no documents to evaluate")
+    totals = OverflowEvalResult(0.0, 0, 0, 0)
+    nll, pred, corr, trunc = 0.0, 0, 0, 0
+    for doc in documents:
+        r = evaluate_with_overflow(
+            model,
+            doc,
+            scheme,
+            window=window,
+            truncation_ratio=truncation_ratio,
+            block_size=block_size,
+        )
+        nll += r.nll_sum
+        pred += r.n_predicted
+        corr += r.n_correct
+        trunc += r.n_truncations
+    return OverflowEvalResult(nll, pred, corr, trunc)

@@ -1,0 +1,100 @@
+"""Numerically stable primitives for the NumPy transformer.
+
+Forward functions return whatever the matching backward needs; backwards
+take the upstream gradient first, mirroring the layout of hand-written
+autodiff in small research codebases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def softmax_backward(grad: np.ndarray, out: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Gradient of softmax given its output ``out``."""
+    dot = np.sum(grad * out, axis=axis, keepdims=True)
+    return out * (grad - dot)
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over all positions, plus dLoss/dLogits.
+
+    Args:
+        logits: (..., vocab) unnormalised scores.
+        targets: integer class ids, shape ``logits.shape[:-1]``.
+
+    Returns:
+        (mean loss, gradient with the same shape as ``logits``).
+    """
+    if logits.shape[:-1] != targets.shape:
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits "
+            f"{logits.shape[:-1]}"
+        )
+    flat = logits.reshape(-1, logits.shape[-1])
+    t = targets.reshape(-1)
+    n = flat.shape[0]
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1)) + flat.max(axis=1)
+    nll = logsumexp - flat[np.arange(n), t]
+    loss = float(nll.mean())
+    probs = softmax(flat, axis=1)
+    probs[np.arange(n), t] -= 1.0
+    grad = (probs / n).reshape(logits.shape)
+    return loss, grad
+
+
+def token_nll(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-position negative log-likelihood (no reduction, no gradient)."""
+    flat = logits.reshape(-1, logits.shape[-1])
+    t = targets.reshape(-1)
+    shifted = flat - flat.max(axis=1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=1)) + flat.max(axis=1)
+    nll = logsumexp - flat[np.arange(flat.shape[0]), t]
+    return nll.reshape(targets.shape)
+
+
+def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5):
+    """RMSNorm forward: ``x / rms(x) * weight``.
+
+    Returns (output, cache) where cache feeds :func:`rmsnorm_backward`.
+    """
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    normed = x / rms
+    return normed * weight, (x, rms, normed, weight)
+
+
+def rmsnorm_backward(grad: np.ndarray, cache) -> tuple[np.ndarray, np.ndarray]:
+    """Gradient of RMSNorm w.r.t. input and weight."""
+    x, rms, normed, weight = cache
+    d = x.shape[-1]
+    g = grad * weight
+    # d/dx of x / rms(x): g/rms - x * <g, x> / (d * rms^3)
+    dot = np.sum(g * x, axis=-1, keepdims=True)
+    dx = g / rms - x * dot / (d * rms**3)
+    dw = np.sum(grad * normed, axis=tuple(range(grad.ndim - 1)))
+    return dx, dw
+
+
+def gelu(x: np.ndarray):
+    """Tanh-approximation GELU forward; returns (output, cache)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (x + 0.044715 * x**3)
+    t = np.tanh(inner)
+    return 0.5 * x * (1.0 + t), (x, t, c)
+
+
+def gelu_backward(grad: np.ndarray, cache) -> np.ndarray:
+    """Gradient of the tanh-approximation GELU."""
+    x, t, c = cache
+    dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x**2)
+    return grad * (0.5 * (1.0 + t) + 0.5 * x * dt)

@@ -1,0 +1,116 @@
+"""KV caches for the NumPy transformer, with decoupled or embedded PE.
+
+Two storage disciplines (Figure 11):
+
+* ``DECOUPLED`` — K is cached *before* RoPE (CachedAttention, Figure 11c).
+  Rotations are applied at attention time using the cache's *current*
+  positions 0..len-1, so :meth:`KVCache.truncate` simply drops the oldest
+  entries and the cache stays valid.
+* ``EMBEDDED`` — K is cached *after* RoPE at its original absolute
+  position (the conventional engine, Figure 11b).  Truncation leaves the
+  old rotations baked in while subsequent queries restart at small
+  positions: relative distances are scrambled — the NKVT failure mode of
+  Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class PEMode(str, Enum):
+    """Whether positional encodings are embedded in cached keys."""
+
+    DECOUPLED = "decoupled"
+    EMBEDDED = "embedded"
+
+
+class LayerKVCache:
+    """K/V tensors of one attention layer for one sequence.
+
+    Shapes: K and V are (n_heads, S, head_dim), grown along S.
+    """
+
+    def __init__(self, n_heads: int, head_dim: int, mode: PEMode, dtype=np.float32):
+        self.mode = mode
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.dtype = dtype
+        self.k = np.zeros((n_heads, 0, head_dim), dtype=dtype)
+        self.v = np.zeros((n_heads, 0, head_dim), dtype=dtype)
+        # For EMBEDDED caches: the absolute position each key was rotated
+        # at when it was stored (needed only for introspection/tests).
+        self.stored_positions = np.zeros((0,), dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.k.shape[1]
+
+    def append(self, k: np.ndarray, v: np.ndarray, positions: np.ndarray) -> None:
+        """Append new keys/values.
+
+        ``k`` must already respect the cache's PE mode: pre-rotation values
+        for DECOUPLED, rotated-at-``positions`` values for EMBEDDED.
+        """
+        if k.shape != v.shape:
+            raise ValueError(f"K/V shape mismatch: {k.shape} vs {v.shape}")
+        if k.shape[0] != self.n_heads or k.shape[2] != self.head_dim:
+            raise ValueError(
+                f"expected (*, {self.n_heads}, S, {self.head_dim}), got {k.shape}"
+            )
+        self.k = np.concatenate([self.k, k.astype(self.dtype)], axis=1)
+        self.v = np.concatenate([self.v, v.astype(self.dtype)], axis=1)
+        self.stored_positions = np.concatenate(
+            [self.stored_positions, np.asarray(positions, dtype=np.int64)]
+        )
+
+    def truncate(self, keep_last: int) -> None:
+        """Drop the oldest entries, keeping the most recent ``keep_last``."""
+        if keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0, got {keep_last}")
+        if keep_last >= len(self):
+            return
+        self.k = self.k[:, -keep_last:, :] if keep_last else self.k[:, :0, :]
+        self.v = self.v[:, -keep_last:, :] if keep_last else self.v[:, :0, :]
+        self.stored_positions = (
+            self.stored_positions[-keep_last:]
+            if keep_last
+            else self.stored_positions[:0]
+        )
+
+
+class KVCache:
+    """Per-layer KV caches for one sequence."""
+
+    def __init__(
+        self,
+        n_layers: int,
+        n_heads: int,
+        head_dim: int,
+        mode: PEMode = PEMode.DECOUPLED,
+        dtype=np.float32,
+    ):
+        if n_layers <= 0:
+            raise ValueError(f"n_layers must be positive, got {n_layers}")
+        self.mode = mode
+        self.layers = [
+            LayerKVCache(n_heads, head_dim, mode, dtype) for _ in range(n_layers)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.layers[0])
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def truncate(self, keep_last: int) -> None:
+        """KV-cache truncation (Section 3.4), applied to every layer.
+
+        For DECOUPLED caches the result is a valid cache over positions
+        0..keep_last-1.  For EMBEDDED caches this reproduces the *naive KV
+        truncation* (NKVT) baseline: the stale rotations stay baked in.
+        """
+        for layer in self.layers:
+            layer.truncate(keep_last)

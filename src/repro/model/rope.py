@@ -1,0 +1,79 @@
+"""Rotary positional embedding (RoPE), the relative PE of Section 3.4.
+
+RoPE rotates each (even, odd) feature pair of the query/key vectors by an
+angle proportional to the token's position, so attention scores depend only
+on *relative* distance.  Because it is applied to Q/K rather than added to
+the input embeddings (Figure 11b), the KV cache can be stored *before*
+rotation (Figure 11c) — the mechanism CachedAttention relies on to keep
+truncated caches valid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rope_angles(
+    positions: np.ndarray, head_dim: int, base: float = 10000.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cos/sin tables for the given positions.
+
+    Args:
+        positions: integer positions, shape (S,).
+        head_dim: per-head dimension (must be even).
+
+    Returns:
+        (cos, sin), each of shape (S, head_dim // 2).
+    """
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even, got {head_dim}")
+    inv_freq = base ** (-np.arange(0, head_dim, 2, dtype=np.float64) / head_dim)
+    theta = np.asarray(positions, dtype=np.float64)[:, None] * inv_freq[None, :]
+    return np.cos(theta), np.sin(theta)
+
+
+def apply_rope(
+    x: np.ndarray, positions: np.ndarray, base: float = 10000.0
+) -> np.ndarray:
+    """Rotate Q/K features by their positions.
+
+    Args:
+        x: (..., S, head_dim) queries or keys; the second-to-last axis is
+            the sequence axis the positions refer to.
+        positions: (S,) integer positions.
+
+    Returns:
+        The rotated array, same shape and dtype as ``x``.
+    """
+    head_dim = x.shape[-1]
+    cos, sin = rope_angles(positions, head_dim, base)
+    cos = cos.astype(x.dtype)
+    sin = sin.astype(x.dtype)
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos - x2 * sin
+    out[..., 1::2] = x1 * sin + x2 * cos
+    return out
+
+
+def unapply_rope(
+    x: np.ndarray, positions: np.ndarray, base: float = 10000.0
+) -> np.ndarray:
+    """Inverse rotation (rotation by ``-positions``).
+
+    Used both to *decouple* positions from an embedded-PE cache (only
+    possible when the original positions are known) and as the exact
+    gradient of :func:`apply_rope` (a rotation's Jacobian is its
+    transpose, i.e. the inverse rotation).
+    """
+    head_dim = x.shape[-1]
+    cos, sin = rope_angles(positions, head_dim, base)
+    cos = cos.astype(x.dtype)
+    sin = sin.astype(x.dtype)
+    x1 = x[..., 0::2]
+    x2 = x[..., 1::2]
+    out = np.empty_like(x)
+    out[..., 0::2] = x1 * cos + x2 * sin
+    out[..., 1::2] = -x1 * sin + x2 * cos
+    return out

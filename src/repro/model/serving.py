@@ -1,0 +1,170 @@
+"""CachedAttention on the real NumPy transformer: multi-turn chat serving.
+
+The serving simulator (`repro.engine`) models CachedAttention's *costs*;
+this module executes its *mechanism* on actual computation: a
+:class:`TinyChatServer` keeps every inactive session's KV cache (stored
+with decoupled positional encodings) and, when the session's next turn
+arrives, reuses it — prefilling only the new tokens.  Context-window
+overflow is handled by truncating the stored cache directly, which is
+valid precisely because the positions are decoupled (Section 3.4).
+
+It is deliberately minimal — one model, in-process "storage" — but every
+token produced is real model output, so equality between cached and
+recomputed serving can be asserted bit-for-bit (see
+``tests/model/test_serving.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .kvcache import KVCache, PEMode
+from .transformer import TinyTransformer
+
+
+@dataclass
+class SessionRecord:
+    """Stored state of one inactive conversation session."""
+
+    cache: KVCache
+    history_tokens: list[int] = field(default_factory=list)
+    turns_served: int = 0
+
+
+@dataclass(frozen=True)
+class TurnResult:
+    """Outcome of serving one turn."""
+
+    session_id: int
+    reply: np.ndarray
+    prefilled_tokens: int  # tokens actually computed this turn
+    reused_tokens: int  # tokens served from the stored cache
+    truncated_tokens: int  # tokens dropped by window overflow
+
+
+class TinyChatServer:
+    """Multi-turn serving with KV-cache reuse on a real model.
+
+    Args:
+        model: a (usually trained) :class:`TinyTransformer`.
+        context_window: maximum cache length; ``None`` uses the model's.
+        truncation_ratio: fraction of the window dropped per overflow
+            (paper default 0.5).
+        cached: True = CachedAttention (reuse stored caches); False = the
+            RE baseline (recompute the full history each turn).  Both
+            produce identical tokens — that equality is the paper's
+            correctness claim for decoupled-PE reuse.
+    """
+
+    def __init__(
+        self,
+        model: TinyTransformer,
+        context_window: int | None = None,
+        truncation_ratio: float = 0.5,
+        cached: bool = True,
+    ) -> None:
+        if not (0.0 < truncation_ratio < 1.0):
+            raise ValueError(
+                f"truncation_ratio must be in (0, 1), got {truncation_ratio}"
+            )
+        self.model = model
+        self.window = context_window or model.config.context_window
+        self.truncation_ratio = truncation_ratio
+        self.cached = cached
+        self.sessions: dict[int, SessionRecord] = {}
+        self.prefilled_tokens_total = 0
+
+    # ------------------------------------------------------------------
+    def serve_turn(
+        self,
+        session_id: int,
+        prompt_tokens: np.ndarray,
+        max_new_tokens: int = 32,
+        stop_token: int | None = None,
+    ) -> TurnResult:
+        """Serve one conversation turn and store the session's cache.
+
+        Greedy decoding; generation stops at ``stop_token`` (if given) or
+        after ``max_new_tokens``.
+        """
+        prompt_tokens = np.asarray(prompt_tokens, dtype=np.int64)
+        if prompt_tokens.ndim != 1 or prompt_tokens.shape[0] == 0:
+            raise ValueError("prompt_tokens must be a non-empty 1-D array")
+        if max_new_tokens <= 0:
+            raise ValueError(
+                f"max_new_tokens must be positive, got {max_new_tokens}"
+            )
+
+        record = self.sessions.get(session_id)
+        if record is None:
+            record = SessionRecord(cache=self.model.new_cache(PEMode.DECOUPLED))
+            self.sessions[session_id] = record
+
+        truncated = self._handle_overflow(record, prompt_tokens.shape[0])
+
+        if self.cached:
+            cache = record.cache
+            reused = len(cache)
+            to_prefill = list(prompt_tokens)
+        else:
+            # RE baseline: rebuild from the (token) history every turn.
+            cache = self.model.new_cache(PEMode.DECOUPLED)
+            reused = 0
+            to_prefill = record.history_tokens + list(prompt_tokens)
+
+        logits = self.model.forward_with_cache(np.array(to_prefill), cache)
+        prefilled = len(to_prefill)
+
+        reply: list[int] = []
+        next_token = int(logits[-1].argmax())
+        for _ in range(max_new_tokens):
+            if stop_token is not None and next_token == stop_token:
+                break
+            reply.append(next_token)
+            if len(cache) >= self.window:
+                break  # no room to extend the context this turn
+            step_logits = self.model.forward_with_cache(
+                np.array([next_token]), cache
+            )
+            next_token = int(step_logits[-1].argmax())
+
+        record.cache = cache
+        record.history_tokens.extend(int(t) for t in prompt_tokens)
+        record.history_tokens.extend(reply)
+        record.turns_served += 1
+        self.prefilled_tokens_total += prefilled
+
+        return TurnResult(
+            session_id=session_id,
+            reply=np.array(reply, dtype=np.int64),
+            prefilled_tokens=prefilled,
+            reused_tokens=reused,
+            truncated_tokens=truncated,
+        )
+
+    # ------------------------------------------------------------------
+    def _handle_overflow(self, record: SessionRecord, incoming: int) -> int:
+        """Truncate the stored cache/history so the prompt fits the window."""
+        dropped_total = 0
+        cut = max(1, int(self.window * self.truncation_ratio))
+        while record.history_tokens and (
+            len(record.history_tokens) + incoming > self.window
+        ):
+            dropped = min(cut, len(record.history_tokens))
+            record.history_tokens = record.history_tokens[dropped:]
+            # Decoupled-PE KV truncation: drop the oldest cache entries and
+            # keep serving — no recomputation (Section 3.4).
+            record.cache.truncate(len(record.history_tokens))
+            dropped_total += dropped
+        return dropped_total
+
+    def end_session(self, session_id: int) -> None:
+        """Discard a session's stored state."""
+        self.sessions.pop(session_id, None)
+
+    @property
+    def stored_cache_tokens(self) -> int:
+        """Total KV-cache entries currently stored across sessions."""
+        return sum(len(r.cache) for r in self.sessions.values())

@@ -1,0 +1,156 @@
+"""Training loop and cached model factory for the quality experiments."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, asdict
+from pathlib import Path
+
+import numpy as np
+
+from .adam import Adam
+from .corpus import (
+    COPY_CORPORA,
+    VOCAB_SIZE,
+    make_copy_corpus,
+    make_kv_corpus,
+    training_batches,
+    training_batches_padded,
+)
+from .transformer import ModelConfig, TinyTransformer
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Training hyperparameters."""
+
+    steps: int = 400
+    batch_size: int = 16
+    seq_len: int = 96
+    lr: float = 3e-3
+    lr_half_life: int | None = None
+    seed: int = 0
+    log_every: int = 50
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0:
+            raise ValueError(f"steps must be positive, got {self.steps}")
+        if self.lr <= 0:
+            raise ValueError(f"lr must be positive, got {self.lr}")
+
+
+def train_model(
+    model: TinyTransformer,
+    docs: list[np.ndarray],
+    config: TrainConfig,
+    doc_aligned: bool = False,
+    verbose: bool = False,
+) -> list[float]:
+    """Train ``model`` in place on next-token prediction; return the loss
+    curve (one entry per step).
+
+    ``doc_aligned=True`` samples whole (padded) documents per batch row
+    instead of windows over a concatenated stream — required for the
+    retrieval corpora, whose queries must see their assignments.
+    """
+    optimizer = Adam(model.params, lr=config.lr)
+    losses: list[float] = []
+    if doc_aligned:
+        batches = training_batches_padded(
+            docs,
+            batch_size=config.batch_size,
+            n_batches=config.steps,
+            seed=config.seed,
+        )
+    else:
+        batches = training_batches(
+            docs,
+            seq_len=config.seq_len,
+            batch_size=config.batch_size,
+            n_batches=config.steps,
+            seed=config.seed,
+        )
+    for step, (tokens, targets) in enumerate(batches):
+        if config.lr_half_life is not None:
+            optimizer.lr = config.lr * 0.5 ** (step / config.lr_half_life)
+        loss, grads = model.loss_and_grads(tokens, targets)
+        optimizer.step(model.params, grads)
+        losses.append(loss)
+        if verbose and (step % config.log_every == 0 or step == config.steps - 1):
+            print(f"step {step:5d}  loss {loss:.4f}")
+    return losses
+
+
+def _cache_key(kind: str, model_config: ModelConfig, train_config: TrainConfig) -> str:
+    payload = f"{kind}|{sorted(asdict(model_config).items())}|{sorted(asdict(train_config).items())}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def make_trained_model(
+    kind: str,
+    model_config: ModelConfig | None = None,
+    train_config: TrainConfig | None = None,
+    cache_dir: str | Path | None = None,
+    verbose: bool = False,
+) -> TinyTransformer:
+    """Train (or load from cache) a model for one experiment corpus.
+
+    Args:
+        kind: a copy-corpus name from :data:`COPY_CORPORA`, or ``"kv"`` for
+            the retrieval task, or ``"mixed"`` for both (the configuration
+            used by the Table 1-2 benchmarks).
+        model_config: architecture; defaults match :class:`ModelConfig`.
+        train_config: training hyperparameters.
+        cache_dir: if given, trained weights are stored/loaded as ``.npz``
+            keyed by the full configuration, so benchmark reruns are cheap.
+    """
+    model_config = model_config or ModelConfig(vocab_size=VOCAB_SIZE)
+    train_config = train_config or TrainConfig()
+    if model_config.vocab_size != VOCAB_SIZE:
+        raise ValueError(
+            f"quality-experiment models must use the corpus vocab "
+            f"({VOCAB_SIZE}), got {model_config.vocab_size}"
+        )
+    model = TinyTransformer(model_config, seed=train_config.seed)
+
+    cache_path: Path | None = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / (
+            f"tiny-{kind}-{_cache_key(kind, model_config, train_config)}.npz"
+        )
+        if cache_path.exists():
+            with np.load(cache_path) as data:
+                model.load_state_dict({k: data[k] for k in data.files})
+            return model
+
+    docs = _corpus_for(kind, train_config)
+    train_model(
+        model,
+        docs,
+        train_config,
+        doc_aligned=kind == "kv",
+        verbose=verbose,
+    )
+
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez(cache_path, **model.state_dict())
+    return model
+
+
+def _corpus_for(kind: str, train_config: TrainConfig) -> list[np.ndarray]:
+    if kind in COPY_CORPORA:
+        return make_copy_corpus(COPY_CORPORA[kind], n_docs=200)
+    if kind == "kv":
+        return [d.tokens for d in make_kv_corpus(n_docs=1500, n_pairs=10)]
+    if kind == "mixed":
+        docs: list[np.ndarray] = []
+        for spec in COPY_CORPORA.values():
+            docs.extend(make_copy_corpus(spec, n_docs=120))
+        rng = np.random.default_rng(train_config.seed)
+        rng.shuffle(docs)
+        return docs
+    raise ValueError(
+        f"unknown corpus kind {kind!r}; expected one of "
+        f"{sorted(COPY_CORPORA)}, 'kv', or 'mixed'"
+    )

@@ -1,0 +1,312 @@
+"""A small-but-real autoregressive RoPE transformer in NumPy.
+
+This is the substrate for the paper's Tables 1-2: the quality experiments
+need an actual trained language model whose KV cache can be stored with
+positional encodings either decoupled (CachedAttention) or embedded (the
+conventional engine), truncated, and re-used.
+
+The architecture is a standard pre-RMSNorm decoder: embeddings, ``n_layers``
+blocks of causal multi-head attention (RoPE on Q/K) + GELU MLP, a final
+RMSNorm and an untied output projection.  Training uses hand-written
+backward passes (verified against finite differences in the test suite);
+inference supports incremental decoding against a :class:`KVCache` in
+either PE mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .functional import (
+    cross_entropy,
+    gelu,
+    gelu_backward,
+    rmsnorm,
+    rmsnorm_backward,
+    softmax,
+    softmax_backward,
+    token_nll,
+)
+from .kvcache import KVCache, PEMode
+from .rope import apply_rope, unapply_rope
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture of the tiny transformer."""
+
+    vocab_size: int = 64
+    d_model: int = 64
+    n_layers: int = 2
+    n_heads: int = 4
+    d_ff: int = 256
+    context_window: int = 96
+    rope_base: float = 10000.0
+    init_scale: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model ({self.d_model}) must divide by n_heads ({self.n_heads})"
+            )
+        if (self.d_model // self.n_heads) % 2 != 0:
+            raise ValueError("head_dim must be even for RoPE")
+        if self.context_window <= 1:
+            raise ValueError(
+                f"context_window must exceed 1, got {self.context_window}"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+
+class TinyTransformer:
+    """Decoder-only transformer with manual forward/backward."""
+
+    def __init__(self, config: ModelConfig, seed: int = 0, dtype=np.float32):
+        self.config = config
+        self.dtype = dtype
+        rng = np.random.default_rng(seed)
+        c = config
+        s = c.init_scale
+
+        def w(*shape):
+            return (rng.standard_normal(shape) * s).astype(dtype)
+
+        self.params: dict[str, np.ndarray] = {"emb": w(c.vocab_size, c.d_model)}
+        for i in range(c.n_layers):
+            self.params[f"l{i}.ln1"] = np.ones(c.d_model, dtype=dtype)
+            self.params[f"l{i}.wq"] = w(c.d_model, c.d_model)
+            self.params[f"l{i}.wk"] = w(c.d_model, c.d_model)
+            self.params[f"l{i}.wv"] = w(c.d_model, c.d_model)
+            self.params[f"l{i}.wo"] = w(c.d_model, c.d_model)
+            self.params[f"l{i}.ln2"] = np.ones(c.d_model, dtype=dtype)
+            self.params[f"l{i}.w1"] = w(c.d_model, c.d_ff)
+            self.params[f"l{i}.w2"] = w(c.d_ff, c.d_model)
+        self.params["lnf"] = np.ones(c.d_model, dtype=dtype)
+        self.params["wout"] = w(c.d_model, c.vocab_size)
+
+    @property
+    def n_params(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+    # ------------------------------------------------------------------
+    # Training path (full sequences, no cache)
+    # ------------------------------------------------------------------
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, S, d) -> (B, h, S, hd)."""
+        b, s, _ = x.shape
+        c = self.config
+        return x.reshape(b, s, c.n_heads, c.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        """(B, h, S, hd) -> (B, S, d)."""
+        b, h, s, hd = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(b, s, h * hd)
+
+    def forward(self, tokens: np.ndarray) -> tuple[np.ndarray, list]:
+        """Full-sequence forward.
+
+        Args:
+            tokens: (B, S) integer token ids.
+
+        Returns:
+            (logits (B, S, vocab), caches for :meth:`backward`).
+        """
+        c = self.config
+        p = self.params
+        b, s = tokens.shape
+        positions = np.arange(s)
+        mask = np.triu(np.full((s, s), -np.inf, dtype=self.dtype), k=1)
+
+        x = p["emb"][tokens]
+        caches: list = [tokens]
+        for i in range(c.n_layers):
+            a, ln1c = rmsnorm(x, p[f"l{i}.ln1"])
+            q = self._split_heads(a @ p[f"l{i}.wq"])
+            k = self._split_heads(a @ p[f"l{i}.wk"])
+            v = self._split_heads(a @ p[f"l{i}.wv"])
+            qr = apply_rope(q, positions, c.rope_base)
+            kr = apply_rope(k, positions, c.rope_base)
+            scores = qr @ kr.transpose(0, 1, 3, 2) / np.sqrt(c.head_dim) + mask
+            probs = softmax(scores)
+            attn = probs @ v
+            merged = self._merge_heads(attn)
+            att_out = merged @ p[f"l{i}.wo"]
+            x_att = x + att_out
+            h, ln2c = rmsnorm(x_att, p[f"l{i}.ln2"])
+            pre = h @ p[f"l{i}.w1"]
+            act, gc = gelu(pre)
+            ffn = act @ p[f"l{i}.w2"]
+            x = x_att + ffn
+            caches.append(
+                (a, ln1c, qr, kr, v, probs, merged, x_att, h, ln2c, act, gc)
+            )
+        xf, lnfc = rmsnorm(x, p["lnf"])
+        logits = xf @ p["wout"]
+        caches.append((xf, lnfc, positions))
+        return logits, caches
+
+    def loss_and_grads(
+        self, tokens: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """Mean cross-entropy and parameter gradients for one batch."""
+        c = self.config
+        p = self.params
+        logits, caches = self.forward(tokens)
+        loss, dlogits = cross_entropy(logits, targets)
+
+        grads = {name: np.zeros_like(arr) for name, arr in p.items()}
+        xf, lnfc, positions = caches[-1]
+        grads["wout"] = xf.reshape(-1, c.d_model).T @ dlogits.reshape(
+            -1, c.vocab_size
+        )
+        dxf = dlogits @ p["wout"].T
+        dx, grads["lnf"] = rmsnorm_backward(dxf, lnfc)
+
+        inv_sqrt = 1.0 / np.sqrt(c.head_dim)
+        for i in reversed(range(c.n_layers)):
+            a, ln1c, qr, kr, v, probs, merged, x_att, h, ln2c, act, gc = caches[
+                i + 1
+            ]
+            # FFN backward: x = x_att + act @ w2, act = gelu(h @ w1)
+            dffn = dx
+            grads[f"l{i}.w2"] = act.reshape(-1, c.d_ff).T @ dffn.reshape(
+                -1, c.d_model
+            )
+            dact = dffn @ p[f"l{i}.w2"].T
+            dpre = gelu_backward(dact, gc)
+            grads[f"l{i}.w1"] = h.reshape(-1, c.d_model).T @ dpre.reshape(
+                -1, c.d_ff
+            )
+            dh = dpre @ p[f"l{i}.w1"].T
+            dx_att, grads[f"l{i}.ln2"] = rmsnorm_backward(dh, ln2c)
+            dx_att = dx_att + dx  # residual
+
+            # Attention backward: x_att = x + merged @ wo
+            datt_out = dx_att
+            grads[f"l{i}.wo"] = merged.reshape(-1, c.d_model).T @ datt_out.reshape(
+                -1, c.d_model
+            )
+            dmerged = datt_out @ p[f"l{i}.wo"].T
+            dattn = self._split_heads(dmerged)
+            dprobs = dattn @ v.transpose(0, 1, 3, 2)
+            dv = probs.transpose(0, 1, 3, 2) @ dattn
+            dscores = softmax_backward(dprobs, probs)
+            dqr = dscores @ kr * inv_sqrt
+            dkr = dscores.transpose(0, 1, 3, 2) @ qr * inv_sqrt
+            dq = unapply_rope(dqr, positions, c.rope_base)
+            dk = unapply_rope(dkr, positions, c.rope_base)
+
+            da = np.zeros_like(a)
+            for w_name, dproj in ((f"l{i}.wq", dq), (f"l{i}.wk", dk), (f"l{i}.wv", dv)):
+                dflat = self._merge_heads(dproj)
+                grads[w_name] = a.reshape(-1, c.d_model).T @ dflat.reshape(
+                    -1, c.d_model
+                )
+                da += dflat @ p[w_name].T
+            dx_pre, grads[f"l{i}.ln1"] = rmsnorm_backward(da, ln1c)
+            dx = dx_pre + dx_att  # residual into the block input
+
+        tokens_in = caches[0]
+        np.add.at(grads["emb"], tokens_in.reshape(-1), dx.reshape(-1, c.d_model))
+        return loss, grads
+
+    # ------------------------------------------------------------------
+    # Inference path (incremental, KV cache)
+    # ------------------------------------------------------------------
+    def new_cache(self, mode: PEMode = PEMode.DECOUPLED) -> KVCache:
+        c = self.config
+        return KVCache(c.n_layers, c.n_heads, c.head_dim, mode, dtype=self.dtype)
+
+    def forward_with_cache(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """Process a block of tokens against (and extending) a KV cache.
+
+        Args:
+            tokens: (S_new,) token ids to append.
+            cache: the sequence's cache; its PE mode decides whether keys
+                are stored pre- or post-rotation.
+
+        Returns:
+            logits (S_new, vocab) for the appended tokens.
+
+        Position semantics: new queries take positions ``len(cache)..``.
+        For a DECOUPLED cache all keys are rotated at their *current*
+        indices 0..len-1 each call, so truncation renumbers cleanly.  For
+        an EMBEDDED cache keys keep the rotation they were stored with —
+        after truncation those absolute positions no longer line up with
+        the restarted query positions, reproducing NKVT.
+        """
+        c = self.config
+        p = self.params
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 1:
+            raise ValueError(f"expected a 1-D token block, got shape {tokens.shape}")
+        s_new = tokens.shape[0]
+        offset = len(cache)
+        new_positions = np.arange(offset, offset + s_new)
+        mask = np.triu(np.full((s_new, s_new), -np.inf, dtype=self.dtype), k=1)
+
+        x = p["emb"][tokens]
+        for i in range(c.n_layers):
+            layer_cache = cache.layers[i]
+            a, _ = rmsnorm(x, p[f"l{i}.ln1"])
+            q = (a @ p[f"l{i}.wq"]).reshape(s_new, c.n_heads, c.head_dim)
+            k = (a @ p[f"l{i}.wk"]).reshape(s_new, c.n_heads, c.head_dim)
+            v = (a @ p[f"l{i}.wv"]).reshape(s_new, c.n_heads, c.head_dim)
+            q = q.transpose(1, 0, 2)  # (h, S_new, hd)
+            k = k.transpose(1, 0, 2)
+            v = v.transpose(1, 0, 2)
+
+            qr = apply_rope(q, new_positions, c.rope_base)
+            if cache.mode is PEMode.DECOUPLED:
+                layer_cache.append(k, v, new_positions)
+                all_positions = np.arange(len(layer_cache))
+                keys = apply_rope(layer_cache.k, all_positions, c.rope_base)
+            else:
+                kr_new = apply_rope(k, new_positions, c.rope_base)
+                layer_cache.append(kr_new, v, new_positions)
+                keys = layer_cache.k
+            values = layer_cache.v
+
+            scores = qr @ keys.transpose(0, 2, 1) / np.sqrt(c.head_dim)
+            # Causal structure: new token t may attend to every cached
+            # token plus new tokens up to t.
+            scores[:, :, offset:] += mask
+            probs = softmax(scores)
+            attn = probs @ values  # (h, S_new, hd)
+            merged = attn.transpose(1, 0, 2).reshape(s_new, c.d_model)
+            x = x + merged @ p[f"l{i}.wo"]
+
+            h, _ = rmsnorm(x, p[f"l{i}.ln2"])
+            act, _ = gelu(h @ p[f"l{i}.w1"])
+            x = x + act @ p[f"l{i}.w2"]
+
+        xf, _ = rmsnorm(x, p["lnf"])
+        return xf @ p["wout"]
+
+    # ------------------------------------------------------------------
+    # Convenience evaluation helpers
+    # ------------------------------------------------------------------
+    def sequence_nll(self, tokens: np.ndarray) -> np.ndarray:
+        """Per-token NLL of a single sequence (teacher forcing, no cache)."""
+        tokens = np.asarray(tokens)
+        logits, _ = self.forward(tokens[None, :-1])
+        return token_nll(logits[0], tokens[1:])
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {k: v.copy() for k, v in self.params.items()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for name, arr in state.items():
+            if name not in self.params:
+                raise KeyError(f"unknown parameter {name!r}")
+            if self.params[name].shape != arr.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{self.params[name].shape} vs {arr.shape}"
+                )
+            self.params[name] = arr.astype(self.dtype)

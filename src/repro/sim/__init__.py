@@ -1,0 +1,8 @@
+"""Discrete-event simulation substrate."""
+
+from .channel import Channel, ChannelPair
+from .clock import SimClock
+from .events import Event, EventQueue
+from .loop import Simulator
+
+__all__ = ["Channel", "ChannelPair", "Event", "EventQueue", "SimClock", "Simulator"]

@@ -1,0 +1,98 @@
+"""Bandwidth channels: PCIe links and SSD I/O as serialised resources.
+
+A :class:`Channel` models a link with fixed bandwidth that serves transfer
+requests FIFO.  Issuing a transfer at time ``t`` returns its completion
+time ``max(t, busy_until) + bytes / bandwidth`` and advances the channel's
+``busy_until``.  This captures the queuing that makes concurrent prefetches
+and demand loads contend for the same SSD or PCIe bandwidth without
+simulating individual packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Channel:
+    """A FIFO bandwidth resource.
+
+    Attributes:
+        name: label for diagnostics ("pcie", "ssd", ...).
+        bandwidth: bytes per second.
+    """
+
+    name: str
+    bandwidth: float
+    _busy_until: float = field(default=0.0, init=False)
+    _bytes_moved: int = field(default=0, init=False)
+    _busy_time: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    @property
+    def bytes_moved(self) -> int:
+        return self._bytes_moved
+
+    @property
+    def busy_time(self) -> float:
+        """Total seconds the channel has spent transferring."""
+        return self._busy_time
+
+    def duration(self, n_bytes: int) -> float:
+        """Transfer time for ``n_bytes`` in isolation (no queueing)."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        return n_bytes / self.bandwidth
+
+    def transfer(self, now: float, n_bytes: int) -> float:
+        """Enqueue a transfer at time ``now``; return its completion time."""
+        start = max(now, self._busy_until)
+        length = self.duration(n_bytes)
+        self._busy_until = start + length
+        self._bytes_moved += n_bytes
+        self._busy_time += length
+        return self._busy_until
+
+    def next_free(self, now: float) -> float:
+        """Earliest time a new transfer could begin."""
+        return max(now, self._busy_until)
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` wall time spent transferring."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / elapsed)
+
+
+@dataclass
+class ChannelPair:
+    """A staged, streaming transfer over two channels (e.g. SSD -> DRAM ->
+    HBM over PCIe).
+
+    Data flows through the second hop as it arrives from the first, so the
+    slower hop dominates: the transfer completes at
+    ``max(first-hop completion, second-hop start + second-hop duration)``.
+    Both channels are occupied for their full share so later requests see
+    realistic queuing.
+    """
+
+    first: Channel
+    second: Channel
+
+    def transfer(self, now: float, n_bytes: int) -> float:
+        start_first = self.first.next_free(now)
+        t1 = self.first.transfer(now, n_bytes)
+        start_second = max(start_first, self.second.next_free(now))
+        d2 = self.second.duration(n_bytes)
+        completion = max(t1, start_second + d2)
+        # Occupy the second channel so that it finishes exactly at
+        # ``completion`` (its queue head is free by construction).
+        self.second.transfer(completion - d2, n_bytes)
+        return completion

@@ -1,0 +1,66 @@
+"""Deterministic event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, sequence_number)`` so that simultaneous
+events fire in scheduling order, making every simulation run exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    ``cancelled`` events stay in the heap but are skipped when popped —
+    O(1) cancellation, standard lazy-deletion pattern.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """A min-heap of events keyed by (time, insertion sequence)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __bool__(self) -> bool:
+        return any(not e.cancelled for e in self._heap)
+
+    def push(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute time ``time``."""
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        event = Event(time=time, seq=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event | None:
+        """Remove and return the earliest live event, or None if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

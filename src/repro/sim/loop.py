@@ -1,0 +1,71 @@
+"""The discrete-event simulation loop."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .clock import SimClock
+from .events import Event, EventQueue
+
+
+class Simulator:
+    """Couples a :class:`SimClock` with an :class:`EventQueue`.
+
+    Components schedule work with :meth:`at` (absolute time) or :meth:`after`
+    (relative delay); :meth:`run` drains the queue in time order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self._queue = EventQueue()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        return self._queue.push(time, callback)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self._queue.push(self.now + delay, callback)
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events in order.
+
+        Args:
+            until: stop once the next event is later than this time (the
+                clock is left at ``until``).  ``None`` drains the queue.
+            max_events: safety valve; raise if exceeded.
+        """
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                if until is not None and until > self.now:
+                    self.clock.advance_to(until)
+                return
+            if until is not None and next_time > until:
+                self.clock.advance_to(until)
+                return
+            event = self._queue.pop()
+            assert event is not None
+            self.clock.advance_to(event.time)
+            event.callback()
+            self._events_processed += 1
+            if max_events is not None and self._events_processed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a scheduling loop"
+                )

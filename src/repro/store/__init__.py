@@ -1,0 +1,45 @@
+"""AttentionStore: hierarchical KV caching for multi-turn conversations."""
+
+from .attention_store import (
+    AttentionStore,
+    LookupResult,
+    LookupStatus,
+    StoreStats,
+    make_policy,
+)
+from .block import Allocation, BlockAllocator, OutOfBlocksError
+from .item import KVCacheItem, Tier
+from .policy import (
+    EmptyQueueView,
+    EvictionPolicy,
+    FIFOPolicy,
+    ListQueueView,
+    LRUPolicy,
+    QueueView,
+    SchedulerAwarePolicy,
+)
+from .prefetch import PrefetchDecision, plan_prefetches
+from .tier import StorageTier
+
+__all__ = [
+    "Allocation",
+    "AttentionStore",
+    "BlockAllocator",
+    "EmptyQueueView",
+    "EvictionPolicy",
+    "FIFOPolicy",
+    "KVCacheItem",
+    "LRUPolicy",
+    "ListQueueView",
+    "LookupResult",
+    "LookupStatus",
+    "OutOfBlocksError",
+    "PrefetchDecision",
+    "QueueView",
+    "SchedulerAwarePolicy",
+    "StorageTier",
+    "StoreStats",
+    "Tier",
+    "make_policy",
+    "plan_prefetches",
+]

@@ -1,0 +1,528 @@
+"""AttentionStore: the hierarchical KV caching system of CachedAttention.
+
+Responsibilities (Section 3 of the paper):
+
+* place each inactive session's KV cache in an (optional) HBM cache tier,
+  host DRAM, or disk, managed in fixed-size blocks;
+* serve lookups, reporting which tier a session's cache resides in;
+* prefetch upcoming sessions' caches from disk to DRAM using scheduler
+  hints (Section 3.3.1);
+* evict DRAM -> disk -> out-of-system with a pluggable policy
+  (scheduler-aware by default; LRU/FIFO baselines, Section 3.3.2);
+* expire items whose TTL since last access has lapsed (Section 4.3.6);
+* truncate stored caches on context-window overflow — only possible when
+  the KV was saved with positional encodings decoupled (Section 3.4).
+
+Transfer *timing* is modelled via the SSD channel passed in; the engine
+owns PCIe timing for HBM loads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..config import EvictionPolicyName, StoreConfig
+from ..sim.channel import Channel
+from .item import KVCacheItem, Tier
+from .policy import (
+    EmptyQueueView,
+    EvictionPolicy,
+    FIFOPolicy,
+    LRUPolicy,
+    QueueView,
+    SchedulerAwarePolicy,
+)
+from .prefetch import WindowEntry, plan_prefetches
+from .tier import StorageTier
+
+
+class LookupStatus(str, Enum):
+    """Where a lookup found (or failed to find) a session's KV cache."""
+
+    HIT_HBM = "hit-hbm"
+    HIT_DRAM = "hit-dram"
+    HIT_DISK = "hit-disk"
+    MISS = "miss"
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a cache lookup for a resuming session."""
+
+    status: LookupStatus
+    n_tokens: int = 0
+    n_bytes: int = 0
+    ready_at: float = 0.0
+
+    @property
+    def hit(self) -> bool:
+        return self.status is not LookupStatus.MISS
+
+
+@dataclass
+class StoreStats:
+    """Operational counters (evictions, expiries, prefetches)."""
+
+    evicted_to_disk: int = 0
+    evicted_out: int = 0
+    expired: int = 0
+    prefetches: int = 0
+    prefetched_bytes: int = 0
+    invalidated: int = 0
+    truncations: int = 0
+    saves: int = 0
+    save_rejections: int = 0
+
+
+def make_policy(
+    name: EvictionPolicyName, window_limit: int | None = None
+) -> EvictionPolicy:
+    """Instantiate an eviction policy by configuration name."""
+    if name is EvictionPolicyName.SCHEDULER_AWARE:
+        return SchedulerAwarePolicy(window_limit=window_limit)
+    if name is EvictionPolicyName.LRU:
+        return LRUPolicy()
+    if name is EvictionPolicyName.FIFO:
+        return FIFOPolicy()
+    raise ValueError(f"unknown eviction policy {name!r}")
+
+
+_EMPTY_QUEUE = EmptyQueueView()
+
+
+class AttentionStore:
+    """Hierarchical KV cache for multi-turn conversation sessions."""
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        kv_bytes_per_token: int,
+        ssd_channel: Channel | None = None,
+    ) -> None:
+        if kv_bytes_per_token <= 0:
+            raise ValueError(
+                f"kv_bytes_per_token must be positive, got {kv_bytes_per_token}"
+            )
+        self.config = config
+        self.kv_bytes_per_token = kv_bytes_per_token
+        self.ssd = ssd_channel or Channel("ssd", bandwidth=4e9)
+        self.hbm_tier = StorageTier(Tier.HBM, config.hbm_cache_bytes, config.block_bytes)
+        self.dram_tier = StorageTier(Tier.DRAM, config.dram_bytes, config.block_bytes)
+        self.disk_tier = StorageTier(Tier.DISK, config.ssd_bytes, config.block_bytes)
+        self.policy = make_policy(config.policy)
+        self.stats = StoreStats()
+        self._items: dict[int, KVCacheItem] = {}
+        self._total_item_bytes = 0
+        # Block-granular dirty tracking: tokens of each session already
+        # written to disk, so DRAM -> disk demotion only transfers the KV
+        # blocks the disk does not hold yet (saves re-spill bandwidth when
+        # a prefetched session returns with one extra turn appended).
+        self._disk_written_tokens: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, session_id: int) -> bool:
+        return session_id in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, session_id: int) -> KVCacheItem | None:
+        return self._items.get(session_id)
+
+    def item_bytes(self, n_tokens: int) -> int:
+        return n_tokens * self.kv_bytes_per_token
+
+    @property
+    def total_item_bytes(self) -> int:
+        return self._total_item_bytes
+
+    @property
+    def avg_item_bytes(self) -> float:
+        """Running average item size, ``S_kv`` in the paper's formulas."""
+        if not self._items:
+            return 2048.0 * self.kv_bytes_per_token
+        return self._total_item_bytes / len(self._items)
+
+    def eviction_window_limit(self) -> int:
+        """Maximum look-ahead eviction window length (Section 3.3.2):
+        ``(C_mem + C_disk) / S_kv``."""
+        capacity = self.dram_tier.capacity_bytes + self.disk_tier.capacity_bytes
+        return max(1, int(capacity / max(self.avg_item_bytes, 1.0)))
+
+    def prefetch_window_limit(self) -> int:
+        """Look-ahead prefetching window length (Section 3.3.1):
+        ``L_pw = C_mem / S_kv``."""
+        return max(
+            1, int(self.dram_tier.capacity_bytes / max(self.avg_item_bytes, 1.0))
+        )
+
+    def _tier_of(self, item: KVCacheItem) -> StorageTier:
+        return {
+            Tier.HBM: self.hbm_tier,
+            Tier.DRAM: self.dram_tier,
+            Tier.DISK: self.disk_tier,
+        }[item.tier]
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, session_id: int, now: float) -> LookupResult:
+        """Check whether a resuming session's KV cache can be reused.
+
+        Expired or invalidated items are dropped and reported as misses.
+        A hit refreshes the item's last-access time and LRU position.
+        """
+        item = self._items.get(session_id)
+        if item is None:
+            return LookupResult(LookupStatus.MISS)
+        if not item.valid:
+            self.drop(session_id)
+            return LookupResult(LookupStatus.MISS)
+        if item.expired(now, self.config.ttl_seconds):
+            self.stats.expired += 1
+            self.drop(session_id)
+            return LookupResult(LookupStatus.MISS)
+        item.touch(now)
+        self._tier_of(item).touch(session_id)
+        status = {
+            Tier.HBM: LookupStatus.HIT_HBM,
+            Tier.DRAM: LookupStatus.HIT_DRAM,
+            Tier.DISK: LookupStatus.HIT_DISK,
+        }[item.tier]
+        ready = item.dram_ready_at if item.tier is Tier.DRAM else 0.0
+        return LookupResult(
+            status=status,
+            n_tokens=item.n_tokens,
+            n_bytes=item.n_bytes,
+            ready_at=ready,
+        )
+
+    # ------------------------------------------------------------------
+    # Save / drop / truncate
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        session_id: int,
+        n_tokens: int,
+        now: float,
+        queue: QueueView = _EMPTY_QUEUE,
+        position_decoupled: bool = True,
+        pinned: frozenset[int] = frozenset(),
+    ) -> KVCacheItem | None:
+        """Store (or replace) a session's KV cache in DRAM.
+
+        Evicts DRAM -> disk -> out as needed.  Returns the stored item, or
+        None when the cache cannot fit anywhere (it is then simply not
+        retained — a store overflow).
+        """
+        if n_tokens <= 0:
+            raise ValueError(f"n_tokens must be positive, got {n_tokens}")
+        if session_id in self._items:
+            # Replacing a session's item extends it by one turn; KV blocks
+            # already spilled to disk stay addressable for delta write-back
+            # (lazy reclamation), so the dirty state survives the replace.
+            written = self._disk_written_tokens.get(session_id, 0)
+            self.drop(session_id)
+            if written:
+                self._disk_written_tokens[session_id] = written
+        n_bytes = self.item_bytes(n_tokens)
+        if n_bytes > self.dram_tier.capacity_bytes:
+            self.stats.save_rejections += 1
+            return None
+        if not self._make_dram_space(n_bytes, queue, now, pinned):
+            self.stats.save_rejections += 1
+            return None
+
+        item = KVCacheItem(
+            session_id=session_id,
+            n_tokens=n_tokens,
+            n_bytes=n_bytes,
+            tier=Tier.DRAM,
+            allocation=None,  # type: ignore[arg-type]  # set by admit()
+            position_decoupled=position_decoupled,
+            created_at=now,
+            last_access=now,
+        )
+        self.dram_tier.admit(item)
+        self._items[session_id] = item
+        self._total_item_bytes += n_bytes
+        self.stats.saves += 1
+        return item
+
+    def save_to_hbm_cache(
+        self,
+        session_id: int,
+        n_tokens: int,
+        now: float,
+        queue: QueueView = _EMPTY_QUEUE,
+        pinned: frozenset[int] = frozenset(),
+    ) -> KVCacheItem | None:
+        """Retain a session's KV directly in the HBM cache tier (Figure 24's
+        HBM-only/HBM+DRAM baselines).  When the HBM tier is full its
+        least-recently-used items overflow into the rest of the hierarchy
+        via the normal save path (or are dropped if no lower tier exists).
+        """
+        if self.hbm_tier.capacity_bytes == 0:
+            return self.save(session_id, n_tokens, now, queue=queue, pinned=pinned)
+        if session_id in self._items:
+            self.drop(session_id)
+        n_bytes = self.item_bytes(n_tokens)
+        if n_bytes > self.hbm_tier.capacity_bytes:
+            return self._overflow_from_hbm(session_id, n_tokens, now, queue, pinned)
+        while not self.hbm_tier.can_fit(n_bytes):
+            victim = LRUPolicy().choose_victim(self.hbm_tier, _EMPTY_QUEUE)
+            if victim is None:
+                return self._overflow_from_hbm(
+                    session_id, n_tokens, now, queue, pinned
+                )
+            self._overflow_from_hbm(
+                victim.session_id, victim.n_tokens, now, queue, pinned
+            )
+        item = KVCacheItem(
+            session_id=session_id,
+            n_tokens=n_tokens,
+            n_bytes=n_bytes,
+            tier=Tier.HBM,
+            allocation=None,  # type: ignore[arg-type]
+            created_at=now,
+            last_access=now,
+        )
+        self.hbm_tier.admit(item)
+        self._items[session_id] = item
+        self._total_item_bytes += n_bytes
+        self.stats.saves += 1
+        return item
+
+    def _overflow_from_hbm(
+        self,
+        session_id: int,
+        n_tokens: int,
+        now: float,
+        queue: QueueView = _EMPTY_QUEUE,
+        pinned: frozenset[int] = frozenset(),
+    ) -> KVCacheItem | None:
+        """Demote an HBM-cached session to DRAM/disk (dropping it when no
+        lower tier is configured)."""
+        if session_id in self._items:
+            self.drop(session_id)
+        if self.dram_tier.capacity_bytes == 0:
+            return None
+        return self.save(session_id, n_tokens, now, queue=queue, pinned=pinned)
+
+    def drop(self, session_id: int) -> None:
+        """Remove a session's cache from the store entirely."""
+        self._disk_written_tokens.pop(session_id, None)
+        item = self._items.pop(session_id, None)
+        if item is not None:
+            self._tier_of(item).remove(session_id)
+            self._total_item_bytes -= item.n_bytes
+
+    def invalidate(self, session_id: int) -> None:
+        """Mark a session's cache unusable (OF baseline after truncation)."""
+        item = self._items.get(session_id)
+        if item is not None:
+            item.valid = False
+            self.stats.invalidated += 1
+
+    def truncate(self, session_id: int, keep_tokens: int) -> bool:
+        """Apply KV-cache truncation to a stored item (Section 3.4).
+
+        Keeps the most recent ``keep_tokens`` tokens.  Succeeds only when
+        the item was saved with decoupled positional encodings; otherwise
+        the item is invalidated and dropped, and False is returned.
+        """
+        item = self._items.get(session_id)
+        if item is None:
+            return False
+        if not item.position_decoupled:
+            self.stats.invalidated += 1
+            self.drop(session_id)
+            return False
+        if keep_tokens <= 0:
+            self.drop(session_id)
+            return False
+        if keep_tokens >= item.n_tokens:
+            return True
+        new_bytes = self.item_bytes(keep_tokens)
+        self._total_item_bytes -= item.n_bytes - new_bytes
+        self._tier_of(item).resize(session_id, keep_tokens, new_bytes)
+        if item.tier is Tier.DISK:
+            self._disk_written_tokens[session_id] = keep_tokens
+        else:
+            # The kept suffix no longer lines up with the spilled prefix.
+            self._disk_written_tokens.pop(session_id, None)
+        self.stats.truncations += 1
+        return True
+
+    def apply_discard_list(self, session_id: int, n_discard_tokens: int) -> bool:
+        """Drop ``n_discard_tokens`` tokens chosen by a compression TDL
+        (token discarding list — the Section 3.4 compression hook)."""
+        item = self._items.get(session_id)
+        if item is None:
+            return False
+        if n_discard_tokens < 0:
+            raise ValueError(
+                f"n_discard_tokens must be >= 0, got {n_discard_tokens}"
+            )
+        return self.truncate(session_id, item.n_tokens - n_discard_tokens)
+
+    # ------------------------------------------------------------------
+    # Eviction
+    # ------------------------------------------------------------------
+    def _sync_policy_window(self) -> None:
+        if isinstance(self.policy, SchedulerAwarePolicy):
+            self.policy.window_limit = self.eviction_window_limit()
+
+    def _make_dram_space(
+        self,
+        n_bytes: int,
+        queue: QueueView,
+        now: float,
+        pinned: frozenset[int] = frozenset(),
+    ) -> bool:
+        """Evict DRAM items to disk until ``n_bytes`` fit (plus buffer)."""
+        self._sync_policy_window()
+        target_free = n_bytes + int(
+            self.config.dram_buffer_fraction * self.dram_tier.capacity_bytes
+        )
+        target_free = min(target_free, self.dram_tier.capacity_bytes)
+        guard = len(self.dram_tier) + 1
+        while self.dram_tier.free_bytes < target_free and guard > 0:
+            guard -= 1
+            victim = self.policy.choose_victim(self.dram_tier, queue, pinned)
+            if victim is None:
+                break
+            if not self._demote_to_disk(victim, queue, now, pinned):
+                # No disk space obtainable either; drop the victim outright.
+                self._drop_item(victim)
+                self.stats.evicted_out += 1
+        return self.dram_tier.can_fit(n_bytes)
+
+    def _demote_to_disk(
+        self,
+        item: KVCacheItem,
+        queue: QueueView,
+        now: float,
+        pinned: frozenset[int] = frozenset(),
+    ) -> bool:
+        """Move one item DRAM -> disk, evicting from disk if needed."""
+        if self.disk_tier.capacity_bytes == 0:
+            return False
+        guard = len(self.disk_tier) + 1
+        while not self.disk_tier.can_fit(item.n_bytes) and guard > 0:
+            guard -= 1
+            disk_victim = self.policy.choose_victim(self.disk_tier, queue, pinned)
+            if disk_victim is None:
+                return False
+            self._drop_item(disk_victim)
+            self.stats.evicted_out += 1
+        if not self.disk_tier.can_fit(item.n_bytes):
+            return False
+        self.dram_tier.remove(item.session_id)
+        self.disk_tier.admit(item)
+        # Writing the spilled KV occupies the SSD link; blocks already on
+        # disk from an earlier spill of this session are skipped.
+        already = self._disk_written_tokens.get(item.session_id, 0)
+        delta_tokens = max(0, item.n_tokens - already)
+        if delta_tokens:
+            self.ssd.transfer(now, self.item_bytes(delta_tokens))
+        self._disk_written_tokens[item.session_id] = item.n_tokens
+        self.stats.evicted_to_disk += 1
+        return True
+
+    def _drop_item(self, item: KVCacheItem) -> None:
+        self._disk_written_tokens.pop(item.session_id, None)
+        self._tier_of(item).remove(item.session_id)
+        del self._items[item.session_id]
+        self._total_item_bytes -= item.n_bytes
+
+    # ------------------------------------------------------------------
+    # Prefetch
+    # ------------------------------------------------------------------
+    def prefetch(
+        self,
+        queue: QueueView,
+        now: float,
+        pinned: frozenset[int] = frozenset(),
+    ) -> list[tuple[int, float]]:
+        """Scheduler-aware fetching of upcoming jobs' KV from disk to DRAM.
+
+        Returns ``(session_id, ready_time)`` pairs for each fetch issued.
+        Disabled when the store is configured without prefetching.
+        """
+        if not self.config.enable_prefetch or len(queue) == 0:
+            return []
+        if len(self.disk_tier) == 0:
+            return []
+
+        def residency(session_id: int) -> WindowEntry | None:
+            item = self._items.get(session_id)
+            if item is None or not item.valid:
+                return None
+            fetchable = item.tier is Tier.DISK and not item.fetch_in_flight
+            return WindowEntry(n_bytes=item.n_bytes, on_disk=fetchable)
+
+        # DRAM occupied by pinned (actively serving) sessions is not
+        # available to the look-ahead window.
+        pinned_bytes = 0
+        for session_id in pinned:
+            item = self._items.get(session_id)
+            if item is not None and item.tier is Tier.DRAM:
+                pinned_bytes += item.n_bytes
+        budget = int(
+            max(0, self.dram_tier.capacity_bytes - pinned_bytes)
+            * self.config.prefetch_capacity_fraction
+        )
+        decisions = plan_prefetches(
+            queue=queue,
+            residency=residency,
+            prefetch_budget_bytes=budget,
+            avg_item_bytes=self.avg_item_bytes,
+        )
+        issued: list[tuple[int, float]] = []
+        for decision in decisions:
+            item = self._items.get(decision.session_id)
+            if item is None or item.tier is not Tier.DISK or item.fetch_in_flight:
+                continue  # displaced by an earlier decision's eviction
+            # Pin the fetch target: making DRAM room must not evict the
+            # very item being fetched (possible when the disk is full and
+            # the demotion cascade reaches it).
+            fetch_pinned = pinned | {decision.session_id}
+            if not self._make_dram_space(item.n_bytes, queue, now, fetch_pinned):
+                continue
+            item = self._items.get(decision.session_id)
+            if item is None or item.tier is not Tier.DISK:
+                continue
+            self.disk_tier.remove(item.session_id)
+            self.dram_tier.admit(item)
+            done = self.ssd.transfer(now, item.n_bytes)
+            item.fetch_in_flight = True
+            item.dram_ready_at = done
+            self.stats.prefetches += 1
+            self.stats.prefetched_bytes += item.n_bytes
+            issued.append((item.session_id, done))
+        return issued
+
+    def complete_fetch(self, session_id: int) -> None:
+        """Mark an in-flight prefetch as finished (engine callback)."""
+        item = self._items.get(session_id)
+        if item is not None:
+            item.fetch_in_flight = False
+
+    # ------------------------------------------------------------------
+    # TTL
+    # ------------------------------------------------------------------
+    def sweep_expired(self, now: float) -> int:
+        """Drop all items whose TTL has lapsed; return how many."""
+        expired = [
+            item
+            for item in self._items.values()
+            if item.expired(now, self.config.ttl_seconds) and not item.fetch_in_flight
+        ]
+        for item in expired:
+            self._drop_item(item)
+        self.stats.expired += len(expired)
+        return len(expired)

@@ -1,0 +1,136 @@
+"""Block-based storage allocation.
+
+Section 4.1: "The host memory and disks are managed in the form of blocks to
+improve storage utilization, similar to [vLLM]. Our internal storage
+allocator allocates and deallocates storage blocks on demand."
+
+A :class:`BlockAllocator` owns a fixed pool of equal-sized blocks.
+Allocations are identified by an opaque handle and consume
+``ceil(bytes / block_bytes)`` blocks; the difference is tracked as internal
+fragmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A successful block allocation."""
+
+    handle: int
+    n_blocks: int
+    requested_bytes: int
+    block_bytes: int
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.n_blocks * self.block_bytes
+
+    @property
+    def internal_fragmentation(self) -> int:
+        return self.allocated_bytes - self.requested_bytes
+
+
+class OutOfBlocksError(Exception):
+    """Raised when an allocator cannot satisfy a request."""
+
+
+class BlockAllocator:
+    """Fixed-capacity pool of equal-sized blocks."""
+
+    def __init__(self, capacity_bytes: int, block_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if block_bytes <= 0:
+            raise ValueError(f"block_bytes must be positive, got {block_bytes}")
+        self._block_bytes = block_bytes
+        self._total_blocks = capacity_bytes // block_bytes
+        self._free_blocks = self._total_blocks
+        self._allocations: dict[int, Allocation] = {}
+        self._next_handle = 0
+
+    @property
+    def block_bytes(self) -> int:
+        return self._block_bytes
+
+    @property
+    def total_blocks(self) -> int:
+        return self._total_blocks
+
+    @property
+    def free_blocks(self) -> int:
+        return self._free_blocks
+
+    @property
+    def used_blocks(self) -> int:
+        return self._total_blocks - self._free_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._total_blocks * self._block_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self._free_blocks * self._block_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        return self.used_blocks * self._block_bytes
+
+    @property
+    def internal_fragmentation_bytes(self) -> int:
+        return sum(a.internal_fragmentation for a in self._allocations.values())
+
+    def blocks_needed(self, n_bytes: int) -> int:
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        return -(-n_bytes // self._block_bytes)  # ceil division
+
+    def can_allocate(self, n_bytes: int) -> bool:
+        return self.blocks_needed(n_bytes) <= self._free_blocks
+
+    def allocate(self, n_bytes: int) -> Allocation:
+        """Allocate blocks for ``n_bytes``.
+
+        Raises:
+            OutOfBlocksError: if the pool lacks enough free blocks.
+        """
+        need = self.blocks_needed(n_bytes)
+        if need > self._free_blocks:
+            raise OutOfBlocksError(
+                f"need {need} blocks, only {self._free_blocks} free"
+            )
+        allocation = Allocation(
+            handle=self._next_handle,
+            n_blocks=need,
+            requested_bytes=n_bytes,
+            block_bytes=self._block_bytes,
+        )
+        self._next_handle += 1
+        self._free_blocks -= need
+        self._allocations[allocation.handle] = allocation
+        return allocation
+
+    def free(self, allocation: Allocation) -> None:
+        """Return an allocation's blocks to the pool.
+
+        Raises:
+            KeyError: if the allocation is unknown (e.g. double free).
+        """
+        if allocation.handle not in self._allocations:
+            raise KeyError(f"unknown or already-freed allocation {allocation.handle}")
+        del self._allocations[allocation.handle]
+        self._free_blocks += allocation.n_blocks
+
+    def resize(self, allocation: Allocation, n_bytes: int) -> Allocation:
+        """Shrink or grow an allocation in place (used by KV truncation)."""
+        self.free(allocation)
+        try:
+            return self.allocate(n_bytes)
+        except OutOfBlocksError:
+            # Restore the original allocation so the caller's state is intact.
+            self._free_blocks -= allocation.n_blocks
+            self._allocations[allocation.handle] = allocation
+            raise

@@ -1,0 +1,73 @@
+"""KV-cache items: the unit of placement in AttentionStore.
+
+One item holds *all* KV caches of a conversation session across all layers
+— the paper's minimal eviction and fetching granularity, because "the KV
+cache in the same conversation session is either all used or none of it is
+used" (Section 3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .block import Allocation
+
+
+class Tier(str, Enum):
+    """Where a KV-cache item currently resides."""
+
+    HBM = "hbm"
+    DRAM = "dram"
+    DISK = "disk"
+
+
+@dataclass
+class KVCacheItem:
+    """Metadata for one session's stored KV cache.
+
+    Attributes:
+        session_id: the conversation session this item belongs to.
+        n_tokens: number of tokens whose KV is stored.
+        n_bytes: total footprint.
+        tier: current residency tier.
+        allocation: block allocation backing the item in its tier.
+        position_decoupled: True if the KV was saved *before* positional
+            encoding was applied (CachedAttention); False reproduces the OF
+            baseline whose caches are invalidated by truncation.
+        valid: False once the cache can no longer be reused (embedded
+            positions + truncation).
+        created_at / last_access: timestamps driving FIFO/LRU/TTL.
+        dram_ready_at: if a fetch from disk is in flight, the simulated time
+            at which the DRAM copy becomes usable.
+    """
+
+    session_id: int
+    n_tokens: int
+    n_bytes: int
+    tier: Tier
+    allocation: Allocation
+    position_decoupled: bool = True
+    valid: bool = True
+    created_at: float = 0.0
+    last_access: float = 0.0
+    dram_ready_at: float = 0.0
+    fetch_in_flight: bool = field(default=False)
+
+    def __post_init__(self) -> None:
+        if self.n_tokens <= 0:
+            raise ValueError(f"n_tokens must be positive, got {self.n_tokens}")
+        if self.n_bytes <= 0:
+            raise ValueError(f"n_bytes must be positive, got {self.n_bytes}")
+
+    def touch(self, now: float) -> None:
+        self.last_access = now
+
+    def expired(self, now: float, ttl_seconds: float | None) -> bool:
+        """TTL from Section 4.3.6: maximum saving time since last access.
+
+        A ``None`` TTL never expires.
+        """
+        if ttl_seconds is None:
+            return False
+        return now - self.last_access > ttl_seconds

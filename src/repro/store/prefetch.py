@@ -1,0 +1,89 @@
+"""Scheduler-aware KV-cache fetching from disks to host memory.
+
+Section 3.3.1: a look-ahead *prefetching window* watches the waiting jobs
+in the scheduler's queue; any waiting job whose KV cache sits on disk is
+fetched into DRAM before the job runs.  The window length is bounded by the
+DRAM capacity available for prefetching: ``L_pw = C_mem / S_kv``.
+
+The planner walks the queue head-first and charges every window job's KV
+footprint against the byte budget — including jobs whose caches are
+*already* in DRAM — so the cumulative window footprint never overcommits
+the memory reserved for prefetching (overcommit would evict the window's
+own tail and thrash the SSD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .policy import QueueView
+
+
+@dataclass(frozen=True)
+class PrefetchDecision:
+    """One planned disk -> DRAM fetch."""
+
+    session_id: int
+    n_bytes: int
+    queue_position: int
+
+
+@dataclass(frozen=True)
+class WindowEntry:
+    """Residency of one waiting job's KV cache, as seen by the planner.
+
+    ``n_bytes`` is the item footprint; ``on_disk`` is True when the item is
+    fetchable from disk (False means it already occupies DRAM/HBM or is in
+    flight, which still consumes window budget).
+    """
+
+    n_bytes: int
+    on_disk: bool
+
+
+def plan_prefetches(
+    queue: QueueView,
+    residency: Callable[[int], WindowEntry | None],
+    prefetch_budget_bytes: int,
+    avg_item_bytes: float,
+) -> list[PrefetchDecision]:
+    """Choose which waiting jobs' KV caches to fetch from disk.
+
+    Args:
+        queue: the scheduler's waiting jobs (head first).
+        residency: maps a session id to its stored item's
+            :class:`WindowEntry`, or None when nothing is stored.
+        prefetch_budget_bytes: DRAM bytes the look-ahead window may occupy.
+        avg_item_bytes: running average KV-item size ``S_kv``, used to bound
+            the number of queue entries examined (``L_pw = C_mem / S_kv``).
+
+    Returns:
+        Fetches in queue order.  The walk stops when the byte budget is
+        exhausted, so the window never overcommits DRAM.
+    """
+    if prefetch_budget_bytes <= 0 or len(queue) == 0:
+        return []
+    window_len = max(1, int(prefetch_budget_bytes / max(avg_item_bytes, 1.0)))
+    decisions: list[PrefetchDecision] = []
+    budget = prefetch_budget_bytes
+    seen: set[int] = set()
+    for pos, session_id in enumerate(queue.head_window(window_len)):
+        if session_id in seen:
+            continue
+        seen.add(session_id)
+        entry = residency(session_id)
+        if entry is None:
+            continue
+        if entry.n_bytes > budget:
+            break  # window is full; later jobs wait for the next plan
+        budget -= entry.n_bytes
+        if entry.on_disk:
+            decisions.append(
+                PrefetchDecision(
+                    session_id=session_id,
+                    n_bytes=entry.n_bytes,
+                    queue_position=pos,
+                )
+            )
+    return decisions

@@ -1,0 +1,45 @@
+"""Synthetic multi-turn conversation workloads (ShareGPT-like)."""
+
+from .arrivals import (
+    ArrivalProcess,
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+    make_arrival_process,
+)
+from .generator import generate_trace
+from .spec import LognormalSpec, WorkloadSpec
+from .stats import (
+    TurnStats,
+    fraction_multi_turn,
+    mean_turns,
+    per_turn_token_stats,
+    repetition_fraction,
+    session_length_percentiles,
+    session_length_survival,
+    turn_count_histogram,
+)
+from .trace import Conversation, Trace, Turn, merge_traces
+
+__all__ = [
+    "ArrivalProcess",
+    "Conversation",
+    "DiurnalArrivals",
+    "LognormalSpec",
+    "MMPPArrivals",
+    "PoissonArrivals",
+    "Trace",
+    "Turn",
+    "TurnStats",
+    "WorkloadSpec",
+    "fraction_multi_turn",
+    "generate_trace",
+    "make_arrival_process",
+    "mean_turns",
+    "merge_traces",
+    "per_turn_token_stats",
+    "repetition_fraction",
+    "session_length_percentiles",
+    "session_length_survival",
+    "turn_count_histogram",
+]

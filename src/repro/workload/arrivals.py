@@ -1,0 +1,167 @@
+"""Session arrival processes.
+
+The paper generates arrivals from a Poisson process (Section 4.1,
+following vLLM/FastServe).  Real conversation traffic is burstier and has
+time-of-day structure, both of which stress AttentionStore differently —
+bursts deepen the scheduler queue (more look-ahead for prefetching),
+troughs cool the cache.  This module provides three processes:
+
+* :class:`PoissonArrivals` — the paper's baseline;
+* :class:`MMPPArrivals` — a 2-state Markov-modulated Poisson process
+  (quiet/bursty) with a configurable burst intensity;
+* :class:`DiurnalArrivals` — a sinusoidally-modulated rate with a
+  configurable period and depth, sampled by thinning.
+
+All produce ``n`` arrival times with the same *mean* rate, so results are
+comparable across processes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class ArrivalProcess(ABC):
+    """Generates session arrival times at a configured mean rate."""
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``n`` strictly increasing arrival times (seconds)."""
+
+    def _check(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals (exponential inter-arrival times)."""
+
+    rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        return np.cumsum(rng.exponential(1.0 / self.rate, size=n))
+
+
+@dataclass(frozen=True)
+class MMPPArrivals(ArrivalProcess):
+    """2-state Markov-modulated Poisson process.
+
+    The process alternates between a quiet state and a burst state whose
+    rates are ``rate / burst_factor`` and ``rate * burst_factor`` scaled so
+    the long-run mean equals ``rate`` given the expected state residencies.
+
+    Attributes:
+        rate: target mean arrival rate.
+        burst_factor: rate multiplier of the burst state (> 1).
+        mean_quiet: expected seconds spent in the quiet state per visit.
+        mean_burst: expected seconds spent in the burst state per visit.
+    """
+
+    rate: float = 1.0
+    burst_factor: float = 4.0
+    mean_quiet: float = 300.0
+    mean_burst: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.burst_factor <= 1.0:
+            raise ValueError(
+                f"burst_factor must exceed 1, got {self.burst_factor}"
+            )
+        if self.mean_quiet <= 0 or self.mean_burst <= 0:
+            raise ValueError("state residencies must be positive")
+
+    def _state_rates(self) -> tuple[float, float]:
+        """(quiet, burst) rates whose time-weighted mean equals ``rate``."""
+        w_quiet = self.mean_quiet / (self.mean_quiet + self.mean_burst)
+        w_burst = 1.0 - w_quiet
+        burst_rate = self.rate * self.burst_factor
+        # Solve w_quiet * quiet + w_burst * burst == rate for quiet.
+        quiet_rate = (self.rate - w_burst * burst_rate) / w_quiet
+        return max(quiet_rate, self.rate * 0.01), burst_rate
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        quiet_rate, burst_rate = self._state_rates()
+        times = np.empty(n)
+        now = 0.0
+        in_burst = False
+        state_end = rng.exponential(self.mean_quiet)
+        for i in range(n):
+            while True:
+                current = burst_rate if in_burst else quiet_rate
+                gap = rng.exponential(1.0 / current)
+                if now + gap <= state_end:
+                    now += gap
+                    break
+                # Cross into the next state and keep sampling.
+                now = state_end
+                in_burst = not in_burst
+                mean = self.mean_burst if in_burst else self.mean_quiet
+                state_end = now + rng.exponential(mean)
+            times[i] = now
+        return times
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidally-modulated Poisson arrivals, sampled by thinning.
+
+    Instantaneous rate: ``rate * (1 + depth * sin(2*pi*t / period))``.
+
+    Attributes:
+        rate: mean arrival rate.
+        period: modulation period in seconds (86400 = a day).
+        depth: modulation depth in [0, 1).
+    """
+
+    rate: float = 1.0
+    period: float = 86_400.0
+    depth: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"rate must be positive, got {self.rate}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if not (0.0 <= self.depth < 1.0):
+            raise ValueError(f"depth must be in [0, 1), got {self.depth}")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        peak = self.rate * (1.0 + self.depth)
+        times = np.empty(n)
+        now = 0.0
+        i = 0
+        while i < n:
+            now += rng.exponential(1.0 / peak)
+            instantaneous = self.rate * (
+                1.0 + self.depth * np.sin(2.0 * np.pi * now / self.period)
+            )
+            if rng.random() < instantaneous / peak:
+                times[i] = now
+                i += 1
+        return times
+
+
+def make_arrival_process(name: str, rate: float, **kwargs) -> ArrivalProcess:
+    """Factory: ``"poisson"``, ``"mmpp"`` or ``"diurnal"``."""
+    if name == "poisson":
+        return PoissonArrivals(rate=rate, **kwargs)
+    if name == "mmpp":
+        return MMPPArrivals(rate=rate, **kwargs)
+    if name == "diurnal":
+        return DiurnalArrivals(rate=rate, **kwargs)
+    raise ValueError(
+        f"unknown arrival process {name!r}; expected poisson, mmpp or diurnal"
+    )

@@ -1,0 +1,102 @@
+"""Synthetic ShareGPT-like trace generation.
+
+See :mod:`repro.workload.spec` for the distributional assumptions and the
+paper statistics they are fit to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .arrivals import ArrivalProcess, PoissonArrivals
+from .spec import LognormalSpec, WorkloadSpec
+from .trace import Conversation, Trace, Turn
+
+
+def _draw_lengths(rng: np.random.Generator, spec: LognormalSpec, n: int) -> np.ndarray:
+    """Draw ``n`` integer token lengths from a clipped lognormal."""
+    raw = rng.lognormal(mean=spec.mu, sigma=spec.sigma, size=n)
+    return np.clip(np.rint(raw).astype(np.int64), spec.minimum, spec.maximum)
+
+
+def _draw_turn_counts(rng: np.random.Generator, spec: WorkloadSpec, n: int) -> np.ndarray:
+    """Draw turn counts: 1 w.p. (1 - p_multi), else 2 + Geometric."""
+    multi = rng.random(n) < spec.p_multi_turn
+    # numpy's geometric is on {1, 2, ...} with mean 1/p; shift to {0, 1, ...}.
+    extra = rng.geometric(spec.geometric_p, size=n) - 1
+    counts = np.where(multi, 2 + extra, 1)
+    return np.minimum(counts, spec.max_turns)
+
+
+def generate_trace(
+    spec: WorkloadSpec | None = None,
+    arrival_process: ArrivalProcess | None = None,
+    **overrides,
+) -> Trace:
+    """Generate a synthetic conversation trace.
+
+    Args:
+        spec: workload specification; defaults to the paper's ShareGPT-like
+            settings.  Keyword ``overrides`` replace individual fields, e.g.
+            ``generate_trace(n_sessions=500, seed=7)``.
+        arrival_process: session arrival process; defaults to the paper's
+            Poisson process at ``spec.arrival_rate`` (see
+            :mod:`repro.workload.arrivals` for bursty/diurnal options).
+
+    Returns:
+        A :class:`~repro.workload.trace.Trace` with ``spec.n_sessions``
+        conversations and lognormal turn lengths.
+    """
+    if spec is None:
+        spec = WorkloadSpec()
+    if overrides:
+        from dataclasses import replace
+
+        spec = replace(spec, **overrides)
+
+    rng = np.random.default_rng(spec.seed)
+    n = spec.n_sessions
+
+    if arrival_process is None:
+        arrival_process = PoissonArrivals(rate=spec.arrival_rate)
+    arrivals = arrival_process.sample(n, rng)
+    turn_counts = _draw_turn_counts(rng, spec, n)
+
+    total_turns = int(turn_counts.sum())
+    q_lengths = _draw_lengths(rng, spec.q_tokens, total_turns)
+    a_lengths = _draw_lengths(rng, spec.a_tokens, total_turns)
+    think_times = rng.lognormal(
+        mean=spec.think_time_mu, sigma=spec.think_time_sigma, size=total_turns
+    )
+
+    conversations: list[Conversation] = []
+    cursor = 0
+    for session_id in range(n):
+        k = int(turn_counts[session_id])
+        turns = tuple(
+            Turn(
+                q_tokens=int(q_lengths[cursor + j]),
+                a_tokens=int(a_lengths[cursor + j]),
+                think_time=0.0 if j == 0 else float(think_times[cursor + j]),
+            )
+            for j in range(k)
+        )
+        cursor += k
+        conversations.append(
+            Conversation(
+                session_id=session_id,
+                arrival_time=float(arrivals[session_id]),
+                turns=turns,
+            )
+        )
+
+    return Trace(
+        conversations=conversations,
+        metadata={
+            "generator": "repro.workload.generator",
+            "n_sessions": spec.n_sessions,
+            "arrival_rate": spec.arrival_rate,
+            "arrival_process": type(arrival_process).__name__,
+            "seed": spec.seed,
+        },
+    )

@@ -1,0 +1,122 @@
+"""Trace statistics mirroring the paper's workload analysis.
+
+Provides the numbers behind Figure 2 (turn-count and session-length
+distributions) and Figure 4a (historical- vs new-token shares per turn).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class TurnStats:
+    """Per-turn-index token statistics (Figure 4a).
+
+    ``mean_history`` / ``mean_new`` are the average historical and new
+    (question) token counts observed at each turn index, and
+    ``history_fraction`` is history / (history + new).
+    """
+
+    turn_index: int
+    mean_history: float
+    mean_new: float
+    n_observations: int
+
+    @property
+    def history_fraction(self) -> float:
+        total = self.mean_history + self.mean_new
+        return self.mean_history / total if total else 0.0
+
+
+def turn_count_histogram(trace: Trace) -> dict[int, int]:
+    """Number of conversations per turn count (Figure 2a)."""
+    return dict(sorted(Counter(c.n_turns for c in trace).items()))
+
+
+def fraction_multi_turn(trace: Trace) -> float:
+    """Share of conversations with more than one turn (paper: 0.73)."""
+    if not len(trace):
+        raise ValueError("empty trace")
+    return sum(c.is_multi_turn for c in trace) / len(trace)
+
+
+def mean_turns(trace: Trace) -> float:
+    """Average turns per conversation (paper: 5.75)."""
+    if not len(trace):
+        raise ValueError("empty trace")
+    return trace.n_turns_total / len(trace)
+
+
+def session_length_survival(trace: Trace, thresholds: list[int]) -> dict[int, float]:
+    """Fraction of sessions longer than each threshold (Figure 2b).
+
+    The paper reports 47 % of sessions above 2K tokens and 30 % above 4K.
+    """
+    if not len(trace):
+        raise ValueError("empty trace")
+    lengths = np.array([c.total_tokens for c in trace])
+    return {t: float(np.mean(lengths > t)) for t in thresholds}
+
+
+def session_length_percentiles(
+    trace: Trace, percentiles: list[float] | None = None
+) -> dict[float, float]:
+    """Percentiles of the session-length distribution."""
+    if percentiles is None:
+        percentiles = [50.0, 90.0, 99.0]
+    lengths = np.array([c.total_tokens for c in trace])
+    values = np.percentile(lengths, percentiles)
+    return dict(zip(percentiles, (float(v) for v in values)))
+
+
+def per_turn_token_stats(trace: Trace, max_turn: int = 20) -> list[TurnStats]:
+    """Historical vs new token counts by turn index (Figure 4a).
+
+    For turn index ``j`` (0-based), the history is everything said in turns
+    ``0..j-1`` and the new tokens are the turn-``j`` user message.
+    """
+    history_sums = np.zeros(max_turn)
+    new_sums = np.zeros(max_turn)
+    counts = np.zeros(max_turn, dtype=np.int64)
+    for conv in trace:
+        upto = min(conv.n_turns, max_turn)
+        history = 0
+        for j in range(upto):
+            history_sums[j] += history
+            new_sums[j] += conv.turns[j].q_tokens
+            counts[j] += 1
+            history += conv.turns[j].total_tokens
+    return [
+        TurnStats(
+            turn_index=j,
+            mean_history=float(history_sums[j] / counts[j]),
+            mean_new=float(new_sums[j] / counts[j]),
+            n_observations=int(counts[j]),
+        )
+        for j in range(max_turn)
+        if counts[j] > 0
+    ]
+
+
+def repetition_fraction(trace: Trace) -> float:
+    """Share of all prefilled tokens that are recomputed history under RE.
+
+    Under recomputation, turn ``j`` prefills ``history + q_j`` tokens, of
+    which ``history`` are repeats.  This is the aggregate version of the
+    paper's "up to 99 % of prefilling cost is repetitive" observation.
+    """
+    repeated = 0
+    total = 0
+    for conv in trace:
+        history = 0
+        for turn in conv.turns:
+            repeated += history
+            total += history + turn.q_tokens
+            history += turn.total_tokens
+    return repeated / total if total else 0.0

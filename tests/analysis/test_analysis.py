@@ -1,0 +1,152 @@
+"""Tests for cost, capacity and report helpers."""
+
+import pytest
+
+from repro.analysis import (
+    AWS_PRICES,
+    CostBreakdown,
+    PriceSheet,
+    capacity_plan,
+    ccps_bytes,
+    cost_saving,
+    distinct_sessions_per_unit_time,
+    format_table,
+    percent,
+    run_cost,
+    speedup,
+)
+from repro.analysis.capacity import CapacityPlan
+from repro.config import EngineConfig, HardwareConfig, ServingMode, StoreConfig
+from repro.engine import ServingEngine
+from repro.models import GiB, get_model
+from repro.workload import generate_trace
+from repro.workload.trace import Conversation, Trace, Turn
+
+
+class TestPriceSheet:
+    def test_aws_defaults(self):
+        assert AWS_PRICES.gpu_per_hour == 5.0
+        assert AWS_PRICES.dram_per_gb_hour == 0.0088
+        assert AWS_PRICES.ssd_per_gb_hour == 0.000082
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PriceSheet(gpu_per_hour=-1)
+
+
+class TestCostBreakdown:
+    def test_total_and_storage_fraction(self):
+        c = CostBreakdown(gpu=90.0, dram=8.0, ssd=2.0)
+        assert c.total == 100.0
+        assert c.storage_fraction == pytest.approx(0.10)
+
+    def test_zero_total(self):
+        assert CostBreakdown(0, 0, 0).storage_fraction == 0.0
+
+    def test_cost_saving(self):
+        a = CostBreakdown(gpu=30, dram=0, ssd=0)
+        b = CostBreakdown(gpu=100, dram=0, ssd=0)
+        assert cost_saving(a, b) == pytest.approx(0.7)
+
+    def test_cost_saving_bad_baseline(self):
+        with pytest.raises(ValueError):
+            cost_saving(CostBreakdown(1, 0, 0), CostBreakdown(0, 0, 0))
+
+
+class TestRunCost:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        # Overloaded arrivals: the makespan is GPU-bound, the regime the
+        # paper's cost analysis (and Figure 17) operates in.
+        trace = generate_trace(n_sessions=60, seed=5, arrival_rate=8.0)
+        model = get_model("llama-13b")
+        # Store sized for the miniature workload (billing a 10 TB SSD for
+        # 60 sessions would swamp the GPU savings).
+        store = StoreConfig(dram_bytes=32 * GiB, ssd_bytes=512 * GiB)
+        hardware = HardwareConfig().for_model(model)
+        ca = ServingEngine(
+            model, engine_config=EngineConfig(batch_size=8), store_config=store
+        ).run(trace)
+        re = ServingEngine(
+            model, engine_config=EngineConfig.recompute_baseline(batch_size=8)
+        ).run(trace)
+        return ca, re, hardware, store
+
+    def test_ca_has_storage_cost(self, runs):
+        ca, _, hardware, store = runs
+        cost = run_cost(ca, hardware, store)
+        assert cost.dram > 0 and cost.ssd > 0
+        assert 0 < cost.storage_fraction < 0.5
+
+    def test_re_is_gpu_only(self, runs):
+        _, re, hardware, store = runs
+        cost = run_cost(re, hardware, store)
+        assert cost.dram == 0 and cost.ssd == 0
+        assert cost.total == cost.gpu
+
+    def test_gpu_cost_formula(self, runs):
+        ca, _, hardware, store = runs
+        cost = run_cost(ca, hardware, store)
+        hours = ca.summary.total_gpu_busy_time / 3600
+        assert cost.gpu == pytest.approx(hardware.num_gpus * 5.0 * hours)
+
+    def test_ca_cheaper_overall(self, runs):
+        ca, re, hardware, store = runs
+        assert cost_saving(
+            run_cost(ca, hardware, store), run_cost(re, hardware, store)
+        ) > 0
+
+
+class TestCapacity:
+    def test_ccps(self):
+        model = get_model("llama-13b")
+        assert ccps_bytes(model) == 4096 * model.kv_bytes_per_token
+
+    def test_dsput_counts_window(self):
+        trace = Trace(
+            conversations=[
+                Conversation(i, t, (Turn(5, 5),))
+                for i, t in enumerate([0.0, 10.0, 20.0, 2000.0])
+            ]
+        )
+        assert distinct_sessions_per_unit_time(trace, ttl_seconds=100.0) == 3.0
+        assert distinct_sessions_per_unit_time(trace, ttl_seconds=5.0) == 1.0
+
+    def test_dsput_validation(self):
+        trace = Trace(
+            conversations=[Conversation(0, 10.0, (Turn(5, 5),))]
+        )
+        with pytest.raises(ValueError):
+            distinct_sessions_per_unit_time(trace, 0.0)
+        with pytest.raises(ValueError):
+            distinct_sessions_per_unit_time(trace, 10.0, horizon=1.0)
+
+    def test_plan(self):
+        trace = generate_trace(n_sessions=100, seed=9)
+        plan = capacity_plan(get_model("llama-13b"), trace, ttl_seconds=600.0)
+        assert plan.ccput_bytes == plan.dsput * plan.ccps_bytes
+        assert plan.rcc_bytes(0.25) == int(0.25 * plan.ccput_bytes)
+        with pytest.raises(ValueError):
+            plan.rcc_bytes(0.0)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.0], ["bcd", 123456.0]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "123,456" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_percent(self):
+        assert percent(0.857) == "85.7%"
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.5) == "4.00x"
+        assert speedup(1.0, 0.0) == "inf"

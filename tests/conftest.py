@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import EngineConfig, HardwareConfig, StoreConfig
+from repro.models import GiB, MiB, get_model
+from repro.workload import WorkloadSpec, generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A tiny deterministic workload (fast engine tests)."""
+    return generate_trace(WorkloadSpec(n_sessions=40, seed=7))
+
+
+@pytest.fixture(scope="session")
+def medium_trace():
+    """A mid-sized workload for integration tests."""
+    return generate_trace(WorkloadSpec(n_sessions=200, seed=13))
+
+
+@pytest.fixture
+def llama13b():
+    return get_model("llama-13b")
+
+
+@pytest.fixture
+def llama65b():
+    return get_model("llama-65b")
+
+
+@pytest.fixture
+def small_store_config():
+    """A deliberately tight store so eviction paths are exercised."""
+    return StoreConfig(dram_bytes=8 * GiB, ssd_bytes=64 * GiB, block_bytes=16 * MiB)
+
+
+@pytest.fixture
+def engine_config():
+    return EngineConfig(batch_size=8)
+
+
+@pytest.fixture
+def hardware():
+    return HardwareConfig(num_gpus=2)

@@ -1,0 +1,75 @@
+"""Tests for the Sarathi-style chunked-prefill extension."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.workload import generate_trace
+from repro.workload.trace import Conversation, Trace, Turn
+
+
+def long_prompt_trace():
+    """Big first-turn prompts arriving while others decode."""
+    convs = [
+        Conversation(i, float(i) * 0.5, (Turn(3000, 400), Turn(2000, 300, 5.0)))
+        for i in range(8)
+    ]
+    return Trace(conversations=convs)
+
+
+def run(chunk_tokens, trace=None):
+    cfg = EngineConfig.recompute_baseline(
+        batch_size=4, chunked_prefill_tokens=chunk_tokens
+    )
+    engine = ServingEngine(get_model("llama-13b"), engine_config=cfg)
+    return engine.run(trace or long_prompt_trace())
+
+
+class TestChunkedPrefill:
+    def test_all_turns_complete(self):
+        result = run(chunk_tokens=512)
+        assert result.summary.n_turns == 16
+
+    def test_same_prefill_gpu_time(self):
+        """Chunking reschedules work; it does not change its amount."""
+        whole = run(chunk_tokens=None)
+        chunked = run(chunk_tokens=512)
+        assert chunked.summary.prefill_gpu_time == pytest.approx(
+            whole.summary.prefill_gpu_time, rel=1e-6
+        )
+
+    def test_max_decode_stall_shrinks(self):
+        """The headline benefit: decoders are never blocked for a whole
+        multi-thousand-token prefill."""
+        whole = run(chunk_tokens=None)
+        chunked = run(chunk_tokens=256)
+        assert whole.summary.max_decode_stall > 0
+        assert chunked.summary.max_decode_stall < 0.5 * whole.summary.max_decode_stall
+
+    def test_stall_scales_with_chunk_size(self):
+        fine = run(chunk_tokens=256)
+        coarse = run(chunk_tokens=1024)
+        assert fine.summary.max_decode_stall <= coarse.summary.max_decode_stall
+
+    def test_results_unchanged_when_chunk_exceeds_prompts(self):
+        trace = generate_trace(n_sessions=20, seed=8)
+        whole = run(chunk_tokens=None, trace=trace)
+        huge_chunk = run(chunk_tokens=10_000, trace=trace)
+        assert huge_chunk.summary.mean_ttft == pytest.approx(
+            whole.summary.mean_ttft
+        )
+        assert huge_chunk.summary.gpu_time == pytest.approx(
+            whole.summary.gpu_time
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(chunked_prefill_tokens=0)
+
+    def test_works_with_cached_attention(self):
+        cfg = EngineConfig(batch_size=4, chunked_prefill_tokens=512)
+        engine = ServingEngine(get_model("llama-13b"), engine_config=cfg)
+        result = engine.run(long_prompt_trace())
+        assert result.summary.n_turns == 16
+        assert result.summary.hit_rate > 0.9

@@ -1,0 +1,147 @@
+"""Edge-case and determinism tests for the serving engine."""
+
+import pytest
+
+from repro.config import (
+    EngineConfig,
+    GPUSpec,
+    HardwareConfig,
+    ServingMode,
+    StoreConfig,
+)
+from repro.engine import ServingEngine, TurnOutcome
+from repro.models import GiB, get_model
+from repro.workload import generate_trace
+from repro.workload.trace import Conversation, Trace, Turn
+
+
+def single_turn_trace(n=5):
+    return Trace(
+        conversations=[
+            Conversation(i, float(i), (Turn(50, 60),)) for i in range(n)
+        ]
+    )
+
+
+class TestDegenerateWorkloads:
+    def test_single_session_single_turn(self):
+        trace = Trace(conversations=[Conversation(0, 0.0, (Turn(10, 10),))])
+        engine = ServingEngine(get_model("llama-13b"))
+        result = engine.run(trace)
+        assert result.summary.n_turns == 1
+        assert result.summary.n_lookups == 0
+        record = engine.metrics.records[0]
+        assert record.outcome is TurnOutcome.FIRST_TURN
+
+    def test_all_single_turn_sessions_never_lookup(self):
+        engine = ServingEngine(get_model("llama-13b"))
+        result = engine.run(single_turn_trace())
+        assert result.summary.n_lookups == 0
+        assert result.summary.hit_rate == 0.0
+
+    def test_empty_trace_rejected(self):
+        engine = ServingEngine(get_model("llama-13b"))
+        with pytest.raises(ValueError, match="empty"):
+            engine.run(Trace())
+
+    def test_simultaneous_arrivals(self):
+        trace = Trace(
+            conversations=[Conversation(i, 0.0, (Turn(10, 10),)) for i in range(6)]
+        )
+        engine = ServingEngine(
+            get_model("llama-13b"), engine_config=EngineConfig(batch_size=2)
+        )
+        result = engine.run(trace)
+        assert result.summary.n_turns == 6
+
+    def test_batch_size_one(self):
+        engine = ServingEngine(
+            get_model("llama-13b"), engine_config=EngineConfig(batch_size=1)
+        )
+        result = engine.run(single_turn_trace())
+        assert result.summary.n_turns == 5
+
+    def test_question_longer_than_window(self):
+        """An oversized prompt is clamped to the context window."""
+        model = get_model("llama-65b")  # 2K window
+        trace = Trace(
+            conversations=[Conversation(0, 0.0, (Turn(4000, 10),))]
+        )
+        engine = ServingEngine(model)
+        result = engine.run(trace)
+        record = engine.metrics.records[0]
+        assert record.prompt_tokens == model.context_window
+        assert record.generated_tokens == 1  # no room to decode
+
+
+class TestDeterminism:
+    def test_same_trace_same_results(self):
+        trace = generate_trace(n_sessions=40, seed=3)
+        results = []
+        for _ in range(2):
+            engine = ServingEngine(
+                get_model("llama-13b"), engine_config=EngineConfig(batch_size=8)
+            )
+            results.append(engine.run(trace))
+        a, b = (r.summary for r in results)
+        assert a.mean_ttft == b.mean_ttft
+        assert a.gpu_time == b.gpu_time
+        assert a.hit_rate == b.hit_rate
+        assert results[0].events_processed == results[1].events_processed
+
+
+class TestHBMPressure:
+    def test_tiny_hbm_limits_batch_but_completes(self):
+        """With barely more HBM than the weights, admission throttles but
+        every turn is still served."""
+        model = get_model("llama-13b")
+        hardware = HardwareConfig(
+            num_gpus=2,
+            gpu=GPUSpec(hbm_bytes=16 * GiB),  # 32 GiB total, 26 for weights
+        )
+        engine = ServingEngine(
+            model, hardware=hardware, engine_config=EngineConfig(batch_size=8)
+        )
+        trace = generate_trace(n_sessions=20, seed=4)
+        result = engine.run(trace)
+        assert result.summary.n_turns == trace.n_turns_total
+
+    def test_model_must_fit(self):
+        hardware = HardwareConfig(num_gpus=1, gpu=GPUSpec(hbm_bytes=8 * GiB))
+        with pytest.raises(ValueError, match="does not fit"):
+            ServingEngine(get_model("llama-13b"), hardware=hardware)
+
+
+class TestModeWiring:
+    def test_re_has_no_store(self):
+        engine = ServingEngine(
+            get_model("llama-13b"),
+            engine_config=EngineConfig.recompute_baseline(),
+        )
+        assert engine.store is None
+        result = engine.run(single_turn_trace())
+        assert result.store_stats is None
+        assert result.mode is ServingMode.RECOMPUTE
+        assert not result.is_cached
+
+    def test_ca_reports_store_stats(self):
+        engine = ServingEngine(get_model("llama-13b"))
+        result = engine.run(single_turn_trace())
+        assert result.store_stats is not None
+        assert result.store_stats.saves == 5
+        assert result.is_cached
+
+    def test_default_engine_config_uses_model_batch(self):
+        engine = ServingEngine(get_model("llama-13b"))
+        assert engine.config.batch_size == 24
+
+    def test_pcie_traffic_only_in_ca(self):
+        ca = ServingEngine(get_model("llama-13b"))
+        ca_result = ca.run(single_turn_trace())
+        re = ServingEngine(
+            get_model("llama-13b"),
+            engine_config=EngineConfig.recompute_baseline(),
+        )
+        re_result = re.run(single_turn_trace())
+        assert ca_result.pcie_bytes > 0  # saves cross PCIe
+        assert re_result.pcie_bytes == 0

@@ -1,0 +1,155 @@
+"""Tests for the Section 3.2 overlap timing models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import (
+    async_save_blocking_time,
+    layerwise_prefill_time,
+    no_preload_prefill_time,
+    perfect_overlap_buffer_layers,
+    preload_speedup,
+    sync_save_blocking_time,
+)
+
+
+class TestNoPreload:
+    def test_sequential_sum(self):
+        assert no_preload_prefill_time(2.0, 3.0) == 5.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            no_preload_prefill_time(-1.0, 1.0)
+
+
+class TestLayerwisePreload:
+    def test_compute_bound_fully_overlaps(self):
+        """When compute dominates (c > d), loading hides completely except
+        the first layer's wait."""
+        total = layerwise_prefill_time(10, compute_time=10.0, load_time=1.0)
+        assert total == pytest.approx(10.0 + 0.1)
+
+    def test_load_bound_approaches_load_time(self):
+        """When loading dominates (d >> c), the pipeline is drain-limited:
+        finish ~= load_time + one layer's compute (Figure 7a)."""
+        total = layerwise_prefill_time(10, compute_time=1.0, load_time=10.0)
+        assert total == pytest.approx(10.0 + 0.1)
+
+    def test_buffer_hides_load_head(self):
+        """Figure 7b: a deeper read buffer shortens the pipeline."""
+        t0 = layerwise_prefill_time(10, 1.0, 10.0, buffer_layers=0)
+        t5 = layerwise_prefill_time(10, 1.0, 10.0, buffer_layers=5)
+        t10 = layerwise_prefill_time(10, 1.0, 10.0, buffer_layers=10)
+        assert t0 > t5 > t10
+        # With the full cache pre-buffered, only compute remains.
+        assert t10 == pytest.approx(1.0)
+
+    def test_always_at_least_compute(self):
+        assert layerwise_prefill_time(40, 2.0, 0.5, 40) >= 2.0
+
+    def test_never_worse_than_no_preload(self):
+        assert layerwise_prefill_time(40, 2.0, 3.0, 0) <= no_preload_prefill_time(
+            2.0, 3.0
+        )
+
+    def test_zero_load_is_pure_compute(self):
+        assert layerwise_prefill_time(40, 2.0, 0.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            layerwise_prefill_time(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            layerwise_prefill_time(10, 1.0, 1.0, buffer_layers=-1)
+
+    @given(
+        st.integers(min_value=1, max_value=80),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.integers(min_value=0, max_value=80),
+    )
+    def test_bounds_property(self, n_layers, compute, load, buffer_layers):
+        """max(compute, residual-load) <= t <= load + compute, and more
+        buffer never hurts."""
+        t = layerwise_prefill_time(n_layers, compute, load, buffer_layers)
+        assert t <= no_preload_prefill_time(compute, load) + 1e-9
+        assert t >= compute - 1e-9
+        t_more = layerwise_prefill_time(
+            n_layers, compute, load, min(n_layers, buffer_layers + 1)
+        )
+        assert t_more <= t + 1e-9
+
+    def test_paper_figure19_shape(self):
+        """Figure 19: PL-B0 cuts ~35 % off NO-PL, PL-B15 ~61 %, for the
+        1K-hist/100-new LLaMA-13B setting where loading dominates."""
+        from repro.config import HardwareConfig
+        from repro.hardware import PerfModel
+        from repro.models import get_model
+
+        pm = PerfModel(get_model("llama-13b"), HardwareConfig(num_gpus=1))
+        batch = 16
+        compute = pm.prefill_time(100, 1000, batch=batch)
+        load = pm.kv_transfer_time(1000, 26e9, batch=batch)
+        assert load > compute  # the imperfect-overlap regime of the figure
+        s0 = preload_speedup(40, compute, load, 0)
+        s15 = preload_speedup(40, compute, load, 15)
+        assert 0.20 < s0 < 0.45
+        assert 0.45 < s15 < 0.70
+        assert s15 > s0
+
+
+class TestPerfectOverlapBuffer:
+    def test_zero_when_compute_dominates(self):
+        assert perfect_overlap_buffer_layers(40, 10.0, 1.0) == 0
+
+    def test_enough_buffer_gives_compute_bound_time(self):
+        b = perfect_overlap_buffer_layers(40, 1.0, 10.0)
+        t = layerwise_prefill_time(40, 1.0, 10.0, b)
+        # Within one layer's load of the pure-compute floor.
+        assert t <= 1.0 + 10.0 / 40 + 1e-9
+
+
+class TestAsyncSave:
+    def test_fully_hidden(self):
+        assert async_save_blocking_time(1.0, overlap_window=2.0, n_layers=40) == 0.0
+
+    def test_residual_when_save_longer(self):
+        assert async_save_blocking_time(3.0, 1.0, 40) == pytest.approx(2.0)
+
+    def test_write_buffer_absorbs_tail(self):
+        blocked = async_save_blocking_time(3.0, 1.0, 40, write_buffer_layers=20)
+        assert blocked == pytest.approx(3.0 - 1.0 - 1.5)
+
+    def test_buffer_capped_at_layers(self):
+        assert async_save_blocking_time(3.0, 0.0, 10, write_buffer_layers=99) == 0.0
+
+    def test_sync_is_full_save(self):
+        assert sync_save_blocking_time(2.5) == 2.5
+
+    def test_paper_figure20_shape(self):
+        """Figure 20: async saving cuts ~13-15 % of total execution for
+        1-1.6K prompts with 20 decode steps (LLaMA-13B, bs 16, 1 GPU)."""
+        from repro.config import HardwareConfig
+        from repro.hardware import PerfModel
+        from repro.models import get_model
+
+        pm = PerfModel(get_model("llama-13b"), HardwareConfig(num_gpus=1))
+        batch = 16
+        for prompt in (1000, 1300, 1600):
+            prefill = pm.prefill_time(prompt, batch=batch)
+            decode = pm.decode_segment_time([prompt] * batch, 20)
+            save = pm.kv_transfer_time(prompt + 20, 26e9, batch=batch)
+            sync_total = prefill + decode + sync_save_blocking_time(save)
+            async_total = prefill + decode + async_save_blocking_time(
+                save, decode, 40, write_buffer_layers=15
+            )
+            reduction = 1 - async_total / sync_total
+            assert 0.08 < reduction < 0.22, (prompt, reduction)
+
+    @given(
+        st.floats(min_value=0, max_value=10),
+        st.floats(min_value=0, max_value=10),
+        st.integers(min_value=0, max_value=40),
+    )
+    def test_async_never_worse_than_sync(self, save, window, buffer_layers):
+        a = async_save_blocking_time(save, window, 40, buffer_layers)
+        assert 0.0 <= a <= sync_save_blocking_time(save) + 1e-12

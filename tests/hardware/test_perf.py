@@ -1,0 +1,162 @@
+"""Tests for the roofline performance model and its paper calibration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import GPUSpec, HardwareConfig
+from repro.hardware import PerfModel
+from repro.models import get_model
+
+
+@pytest.fixture
+def pm65():
+    return PerfModel(get_model("llama-65b"), HardwareConfig(num_gpus=4))
+
+
+@pytest.fixture
+def pm13():
+    return PerfModel(get_model("llama-13b"), HardwareConfig(num_gpus=2))
+
+
+class TestPaperCalibration:
+    """Section 2.4's published measurements pin the model down."""
+
+    def test_llama65b_2k_prefill_is_360ms(self, pm65):
+        assert pm65.prefill_time(2048) == pytest.approx(0.36, rel=0.1)
+
+    def test_llama65b_2k_kv_is_5gb(self):
+        model = get_model("llama-65b")
+        assert model.kv_bytes(2048) / 1e9 == pytest.approx(5.0, rel=0.1)
+
+    def test_llama65b_2k_kv_load_is_192ms(self, pm65):
+        assert pm65.kv_transfer_time(2048, 26e9) == pytest.approx(0.192, rel=0.1)
+
+    def test_kv_generation_rate_is_14gbps(self, pm65):
+        """The paper: 5 GB in 360 ms = ~13.9 GB/s of KV production."""
+        model = get_model("llama-65b")
+        rate = model.kv_bytes(2048) / pm65.prefill_time(2048)
+        assert rate / 1e9 == pytest.approx(13.9, rel=0.15)
+
+    def test_per_token_kv_sizes(self):
+        expected = {
+            "llama-13b": 0.78,
+            "llama-65b": 2.5,
+            "llama-70b": 0.31,
+            "falcon-40b": 0.12,
+        }
+        for name, mb in expected.items():
+            size = get_model(name).kv_bytes_per_token / 2**20
+            assert size == pytest.approx(mb, rel=0.05), name
+
+
+class TestPrefill:
+    def test_scales_with_tokens(self, pm13):
+        assert pm13.prefill_time(2048) > 1.9 * pm13.prefill_time(1024)
+
+    def test_past_context_adds_attention_cost(self, pm13):
+        assert pm13.prefill_time(100, n_past=2000) > pm13.prefill_time(100, 0)
+
+    def test_batch_multiplies(self, pm13):
+        assert pm13.prefill_time(512, batch=4) == pytest.approx(
+            4 * pm13.prefill_time(512), rel=1e-6
+        )
+
+    def test_rejects_bad_batch(self, pm13):
+        with pytest.raises(ValueError):
+            pm13.prefill_time(10, batch=0)
+
+    def test_per_token_rate(self, pm13):
+        per_tok = pm13.prefill_time_per_token()
+        model = get_model("llama-13b")
+        assert per_tok == pytest.approx(
+            2 * model.n_params / pm13.effective_flops
+        )
+
+
+class TestDecode:
+    def test_step_time_grows_with_context(self, pm13):
+        short = pm13.decode_step_time([100] * 8)
+        long = pm13.decode_step_time([4000] * 8)
+        assert long > short
+
+    def test_weights_dominate_small_batch(self, pm13):
+        """At tiny contexts, decode cost is the weight read."""
+        model = get_model("llama-13b")
+        floor = model.weight_bytes / pm13.effective_hbm_bandwidth
+        assert pm13.decode_step_time([1]) == pytest.approx(floor, rel=0.01)
+
+    def test_segment_matches_stepwise_sum(self, pm13):
+        contexts = [100, 200, 300]
+        total = 0.0
+        ctx = list(contexts)
+        for _ in range(10):
+            total += pm13.decode_step_time(ctx)
+            ctx = [c + 1 for c in ctx]
+        assert pm13.decode_segment_time(contexts, 10) == pytest.approx(total)
+
+    def test_segment_from_sum_equivalent(self, pm13):
+        contexts = [128, 256, 512, 64]
+        assert pm13.decode_segment_time(contexts, 7) == pytest.approx(
+            pm13.decode_segment_time_from_sum(sum(contexts), len(contexts), 7)
+        )
+
+    def test_zero_iterations(self, pm13):
+        assert pm13.decode_segment_time([100], 0) == 0.0
+
+    def test_rejects_negative_iterations(self, pm13):
+        with pytest.raises(ValueError):
+            pm13.decode_segment_time([100], -1)
+
+    @given(
+        st.integers(min_value=1, max_value=32),
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=0, max_value=4096),
+    )
+    def test_segment_time_positive_and_monotone_in_iters(self, batch, iters, ctx):
+        pm = PerfModel(get_model("llama-13b"), HardwareConfig(num_gpus=2))
+        t1 = pm.decode_segment_time_from_sum(ctx * batch, batch, iters)
+        t2 = pm.decode_segment_time_from_sum(ctx * batch, batch, iters + 1)
+        assert 0 < t1 < t2
+
+
+class TestTransfers:
+    def test_kv_transfer_time(self, pm13):
+        model = get_model("llama-13b")
+        expected = model.kv_bytes(1000) / 26e9
+        assert pm13.kv_transfer_time(1000, 26e9) == pytest.approx(expected)
+
+    def test_rejects_bad_bandwidth(self, pm13):
+        with pytest.raises(ValueError):
+            pm13.kv_transfer_time(1000, 0)
+
+    def test_read_buffer_zero_when_compute_dominates(self, pm13):
+        """S_buf = B * (T_load*L_hist - T_pref*L_new), floored at 0."""
+        assert pm13.read_buffer_bytes(n_hist=10, n_new=5000) == 0.0
+
+    def test_read_buffer_positive_when_load_dominates(self, pm13):
+        assert pm13.read_buffer_bytes(n_hist=5000, n_new=10) > 0
+
+
+class TestHardwareConfig:
+    def test_free_hbm(self):
+        hw = HardwareConfig(num_gpus=4)
+        model = get_model("llama-65b")
+        free = hw.free_hbm_bytes(model)
+        assert free == hw.total_hbm_bytes - model.weight_bytes
+        # The paper: ~130 GB of weights leave ~190 GB free on 4xA100-80G.
+        assert free / 1e9 == pytest.approx(213, rel=0.15)
+
+    def test_model_too_big_raises(self):
+        hw = HardwareConfig(num_gpus=1)
+        with pytest.raises(ValueError, match="does not fit"):
+            hw.free_hbm_bytes(get_model("llama-65b"))
+
+    def test_for_model_uses_default_gpus(self):
+        hw = HardwareConfig().for_model(get_model("llama-13b"))
+        assert hw.num_gpus == 2
+
+    def test_gpu_spec_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec(mfu=0.0)
+        with pytest.raises(ValueError):
+            GPUSpec(mbu=1.5)

@@ -1,0 +1,157 @@
+"""Tests for TDL-based KV-cache compression (the Section 3.4 hook)."""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelConfig, PEMode, TinyTransformer, VOCAB_SIZE
+from repro.model.compression import (
+    CompressionStrategy,
+    attention_importance,
+    compress_cache,
+    evaluate_compression,
+    make_tdl,
+    select_cache,
+)
+from repro.model.corpus import encode
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=32, n_layers=2, n_heads=2, d_ff=64,
+        context_window=64,
+    )
+    return TinyTransformer(cfg, seed=6)
+
+
+def tokens(n=24, seed=0):
+    return np.random.default_rng(seed).integers(0, VOCAB_SIZE, size=n)
+
+
+class TestAttentionImportance:
+    def test_shape_and_nonnegative(self, model):
+        t = tokens(20)
+        scores = attention_importance(model, t)
+        assert scores.shape == (20,)
+        assert np.all(scores >= 0)
+
+    def test_early_positions_receive_more_mass(self, model):
+        """Under causal attention, early keys can be attended by more
+        queries, so total mass skews early for an untrained model."""
+        scores = attention_importance(model, tokens(30))
+        assert scores[:5].sum() > scores[-5:].sum()
+
+    def test_total_mass_conserved(self, model):
+        """Each query distributes exactly 1 unit per head per layer."""
+        t = tokens(16)
+        scores = attention_importance(model, t)
+        c = model.config
+        expected = c.n_layers * c.n_heads * t.shape[0]
+        assert scores.sum() == pytest.approx(expected, rel=1e-5)
+
+    def test_rejects_2d(self, model):
+        with pytest.raises(ValueError):
+            attention_importance(model, tokens(8)[None])
+
+
+class TestMakeTDL:
+    def test_discards_lowest_scores(self):
+        importance = np.array([9.0, 9, 0.1, 5, 0.2, 9, 9, 9, 9, 9, 9, 9, 9])
+        tdl = make_tdl(importance, 2, protect_initial=1, protect_recent=1)
+        assert list(tdl) == [2, 4]
+
+    def test_protects_initial_and_recent(self):
+        importance = np.zeros(10)
+        tdl = make_tdl(importance, 4, protect_initial=2, protect_recent=2)
+        assert tdl.min() >= 2
+        assert tdl.max() < 8
+
+    def test_zero_discard(self):
+        assert make_tdl(np.ones(5), 0).size == 0
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            make_tdl(np.ones(10), 9, protect_initial=2, protect_recent=2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_tdl(np.ones(5), -1)
+
+
+class TestSelectCache:
+    def test_selected_cache_matches_manual_build(self, model):
+        """Selecting indices then decoding equals a cache built from the
+        same K/V rows — the decoupled re-numbering is exact."""
+        t = tokens(16, seed=3)
+        cache = model.new_cache(PEMode.DECOUPLED)
+        model.forward_with_cache(t, cache)
+        keep = np.array([0, 1, 5, 9, 14, 15])
+        out = select_cache(cache, keep)
+        assert len(out) == 6
+        for src, dst in zip(cache.layers, out.layers):
+            assert np.allclose(dst.k, src.k[:, keep, :])
+            assert np.allclose(dst.v, src.v[:, keep, :])
+
+    def test_embedded_rejected(self, model):
+        cache = model.new_cache(PEMode.EMBEDDED)
+        model.forward_with_cache(tokens(8), cache)
+        with pytest.raises(ValueError, match="decoupled"):
+            select_cache(cache, np.array([0, 1]))
+
+    def test_out_of_range_rejected(self, model):
+        cache = model.new_cache(PEMode.DECOUPLED)
+        model.forward_with_cache(tokens(8), cache)
+        with pytest.raises(IndexError):
+            select_cache(cache, np.array([99]))
+
+
+class TestCompressCache:
+    @pytest.mark.parametrize("strategy", list(CompressionStrategy))
+    def test_target_size_met(self, model, strategy):
+        t = tokens(30, seed=4)
+        cache = model.new_cache(PEMode.DECOUPLED)
+        model.forward_with_cache(t, cache)
+        out = compress_cache(model, t, cache, 0.5, strategy)
+        assert len(out) == 15
+
+    def test_keep_ratio_one_is_identity(self, model):
+        t = tokens(10)
+        cache = model.new_cache(PEMode.DECOUPLED)
+        model.forward_with_cache(t, cache)
+        assert compress_cache(
+            model, t, cache, 1.0, CompressionStrategy.RANDOM
+        ) is cache
+
+    def test_bad_ratio_rejected(self, model):
+        cache = model.new_cache(PEMode.DECOUPLED)
+        model.forward_with_cache(tokens(8), cache)
+        with pytest.raises(ValueError):
+            compress_cache(model, tokens(8), cache, 0.0, CompressionStrategy.RANDOM)
+
+
+class TestEvaluateCompression:
+    def test_full_ratio_matches_uncompressed_model(self, model):
+        docs = [encode("abc def ghi jkl mno pqr stu. " * 2) for _ in range(3)]
+        r = evaluate_compression(
+            model, docs, 1.0, CompressionStrategy.RECENT_ONLY
+        )
+        assert r.n_predicted > 0
+        assert r.perplexity > 1.0
+
+    def test_compression_degrades_gracefully(self, model):
+        docs = [encode("abc def ghi jkl mno pqr stu. " * 2) for _ in range(3)]
+        full = evaluate_compression(model, docs, 1.0, CompressionStrategy.RANDOM)
+        half = evaluate_compression(model, docs, 0.5, CompressionStrategy.RANDOM)
+        # Losing half the context cannot *improve* an untrained model much;
+        # mainly we check both paths run and report sane numbers.
+        assert half.n_predicted == full.n_predicted
+        assert half.perplexity > 0
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            evaluate_compression(model, [], 0.5, CompressionStrategy.RANDOM)
+        with pytest.raises(ValueError):
+            evaluate_compression(
+                model, [tokens(10)], 0.5, CompressionStrategy.RANDOM,
+                prompt_fraction=1.5,
+            )

@@ -1,0 +1,180 @@
+"""Tests for numeric primitives and RoPE."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.model.functional import (
+    cross_entropy,
+    gelu,
+    gelu_backward,
+    rmsnorm,
+    rmsnorm_backward,
+    softmax,
+    softmax_backward,
+    token_nll,
+)
+from repro.model.rope import apply_rope, rope_angles, unapply_rope
+
+finite_floats = st.floats(
+    min_value=-10, max_value=10, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        x = np.random.default_rng(0).standard_normal((3, 5))
+        assert np.allclose(softmax(x).sum(axis=-1), 1.0)
+
+    def test_stable_for_large_inputs(self):
+        out = softmax(np.array([1e4, 1e4 + 1.0]))
+        assert np.all(np.isfinite(out))
+
+    def test_invariant_to_shift(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    @given(arrays(np.float64, (4, 6), elements=finite_floats))
+    def test_softmax_backward_matches_fd(self, x):
+        out = softmax(x)
+        g = np.ones_like(x)
+        grad = softmax_backward(g, out)
+        # Directional finite difference.
+        rng = np.random.default_rng(1)
+        d = rng.standard_normal(x.shape)
+        eps = 1e-6
+        f = lambda z: softmax(z).sum()
+        num = (f(x + eps * d) - f(x - eps * d)) / (2 * eps)
+        assert num == pytest.approx(float((grad * d).sum()), abs=1e-4)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((1, 4), -100.0)
+        logits[0, 2] = 100.0
+        loss, _ = cross_entropy(logits, np.array([2]))
+        assert loss < 1e-6
+
+    def test_uniform_is_log_vocab(self):
+        logits = np.zeros((5, 7))
+        loss, _ = cross_entropy(logits, np.zeros(5, dtype=int))
+        assert loss == pytest.approx(np.log(7))
+
+    def test_gradient_matches_fd(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 5))
+        targets = rng.integers(0, 5, size=3)
+        _, grad = cross_entropy(logits, targets)
+        eps = 1e-6
+        d = rng.standard_normal(logits.shape)
+        lp, _ = cross_entropy(logits + eps * d, targets)
+        lm, _ = cross_entropy(logits - eps * d, targets)
+        assert (lp - lm) / (2 * eps) == pytest.approx(float((grad * d).sum()), rel=1e-4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cross_entropy(np.zeros((2, 3)), np.zeros((3,), dtype=int))
+
+    def test_token_nll_consistent_with_mean_loss(self):
+        rng = np.random.default_rng(2)
+        logits = rng.standard_normal((4, 6))
+        targets = rng.integers(0, 6, size=4)
+        loss, _ = cross_entropy(logits, targets)
+        assert token_nll(logits, targets).mean() == pytest.approx(loss)
+
+
+class TestRMSNorm:
+    def test_unit_rms_output(self):
+        x = np.random.default_rng(0).standard_normal((2, 8))
+        out, _ = rmsnorm(x, np.ones(8))
+        rms = np.sqrt((out**2).mean(axis=-1))
+        assert np.allclose(rms, 1.0, atol=1e-3)
+
+    def test_weight_scales(self):
+        x = np.random.default_rng(0).standard_normal((2, 8))
+        out1, _ = rmsnorm(x, np.ones(8))
+        out2, _ = rmsnorm(x, 2 * np.ones(8))
+        assert np.allclose(out2, 2 * out1)
+
+    def test_backward_matches_fd(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((3, 8))
+        w = rng.standard_normal(8)
+        out, cache = rmsnorm(x, w)
+        upstream = rng.standard_normal(out.shape)
+        dx, dw = rmsnorm_backward(upstream, cache)
+        eps = 1e-6
+        d = rng.standard_normal(x.shape)
+        f = lambda z: float((rmsnorm(z, w)[0] * upstream).sum())
+        num = (f(x + eps * d) - f(x - eps * d)) / (2 * eps)
+        assert num == pytest.approx(float((dx * d).sum()), rel=1e-4)
+        dweight = rng.standard_normal(8)
+        g = lambda ww: float((rmsnorm(x, ww)[0] * upstream).sum())
+        num_w = (g(w + eps * dweight) - g(w - eps * dweight)) / (2 * eps)
+        assert num_w == pytest.approx(float((dw * dweight).sum()), rel=1e-4)
+
+
+class TestGelu:
+    def test_known_values(self):
+        out, _ = gelu(np.array([0.0]))
+        assert out[0] == pytest.approx(0.0)
+        out, _ = gelu(np.array([100.0]))
+        assert out[0] == pytest.approx(100.0, rel=1e-6)
+
+    def test_backward_matches_fd(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(16)
+        out, cache = gelu(x)
+        grad = gelu_backward(np.ones_like(x), cache)
+        eps = 1e-6
+        num = (gelu(x + eps)[0] - gelu(x - eps)[0]) / (2 * eps)
+        assert np.allclose(grad, num, atol=1e-5)
+
+
+class TestRope:
+    def test_angles_shape(self):
+        cos, sin = rope_angles(np.arange(5), 8)
+        assert cos.shape == sin.shape == (5, 4)
+
+    def test_position_zero_is_identity(self):
+        x = np.random.default_rng(0).standard_normal((2, 1, 8))
+        out = apply_rope(x, np.array([0]))
+        assert np.allclose(out, x)
+
+    def test_preserves_norm(self):
+        """Rotations are orthogonal: vector norms are invariant."""
+        x = np.random.default_rng(0).standard_normal((3, 7, 8))
+        out = apply_rope(x, np.arange(7))
+        assert np.allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(x, axis=-1)
+        )
+
+    def test_unapply_inverts(self):
+        x = np.random.default_rng(1).standard_normal((2, 9, 16))
+        pos = np.arange(9) * 3
+        assert np.allclose(unapply_rope(apply_rope(x, pos), pos), x, atol=1e-12)
+
+    def test_relative_property(self):
+        """Attention scores depend only on relative distance: rotating q at
+        p and k at s gives the same dot product as (p+delta, s+delta)."""
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((1, 1, 8))
+        k = rng.standard_normal((1, 1, 8))
+        for delta in (0, 5, 100):
+            qs = apply_rope(q, np.array([7 + delta]))
+            ks = apply_rope(k, np.array([3 + delta]))
+            score = float((qs * ks).sum())
+            if delta == 0:
+                base = score
+            assert score == pytest.approx(base, rel=1e-9)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_angles(np.arange(3), 7)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_rotation_orthogonality_property(self, position):
+        x = np.ones((1, 8))
+        out = apply_rope(x, np.array([position]))
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(x), rel=1e-9)

@@ -1,0 +1,98 @@
+"""Tests for the NumPy KV cache with decoupled/embedded positions."""
+
+import numpy as np
+import pytest
+
+from repro.model import KVCache, PEMode
+from repro.model.kvcache import LayerKVCache
+
+
+def kv_block(n_heads=2, s=4, hd=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal((n_heads, s, hd)).astype(np.float32),
+        rng.standard_normal((n_heads, s, hd)).astype(np.float32),
+    )
+
+
+class TestLayerKVCache:
+    def test_starts_empty(self):
+        c = LayerKVCache(2, 8, PEMode.DECOUPLED)
+        assert len(c) == 0
+
+    def test_append_grows(self):
+        c = LayerKVCache(2, 8, PEMode.DECOUPLED)
+        k, v = kv_block()
+        c.append(k, v, np.arange(4))
+        assert len(c) == 4
+        c.append(k, v, np.arange(4, 8))
+        assert len(c) == 8
+        assert list(c.stored_positions) == list(range(8))
+
+    def test_append_shape_mismatch(self):
+        c = LayerKVCache(2, 8, PEMode.DECOUPLED)
+        k, v = kv_block()
+        with pytest.raises(ValueError):
+            c.append(k, v[:, :2], np.arange(4))
+        with pytest.raises(ValueError):
+            c.append(k[:1], v[:1], np.arange(4))
+
+    def test_truncate_keeps_most_recent(self):
+        c = LayerKVCache(2, 8, PEMode.DECOUPLED)
+        k, v = kv_block(s=6)
+        c.append(k, v, np.arange(6))
+        c.truncate(2)
+        assert len(c) == 2
+        assert np.allclose(c.k, k[:, -2:, :])
+        assert list(c.stored_positions) == [4, 5]
+
+    def test_truncate_to_zero(self):
+        c = LayerKVCache(2, 8, PEMode.DECOUPLED)
+        k, v = kv_block()
+        c.append(k, v, np.arange(4))
+        c.truncate(0)
+        assert len(c) == 0
+
+    def test_truncate_noop_when_bigger(self):
+        c = LayerKVCache(2, 8, PEMode.DECOUPLED)
+        k, v = kv_block()
+        c.append(k, v, np.arange(4))
+        c.truncate(10)
+        assert len(c) == 4
+
+    def test_truncate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LayerKVCache(2, 8, PEMode.DECOUPLED).truncate(-1)
+
+
+class TestKVCache:
+    def test_layers_independent_objects(self):
+        cache = KVCache(3, 2, 8)
+        assert cache.n_layers == 3
+        k, v = kv_block()
+        cache.layers[0].append(k, v, np.arange(4))
+        assert len(cache.layers[0]) == 4
+        assert len(cache.layers[1]) == 0
+
+    def test_len_is_layer0(self):
+        cache = KVCache(2, 2, 8)
+        k, v = kv_block()
+        cache.layers[0].append(k, v, np.arange(4))
+        cache.layers[1].append(k, v, np.arange(4))
+        assert len(cache) == 4
+
+    def test_truncate_all_layers(self):
+        cache = KVCache(2, 2, 8)
+        k, v = kv_block()
+        for layer in cache.layers:
+            layer.append(k, v, np.arange(4))
+        cache.truncate(1)
+        assert all(len(layer) == 1 for layer in cache.layers)
+
+    def test_mode_propagates(self):
+        cache = KVCache(2, 2, 8, PEMode.EMBEDDED)
+        assert all(layer.mode is PEMode.EMBEDDED for layer in cache.layers)
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ValueError):
+            KVCache(0, 2, 8)

@@ -1,0 +1,92 @@
+"""Tests for the LongEval-style retrieval benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ModelConfig,
+    Scheme,
+    TinyTransformer,
+    VOCAB_SIZE,
+    decode,
+    make_recall_case,
+    run_retrieval_benchmark,
+    run_word_recall_benchmark,
+)
+from repro.model.longeval import RetrievalBenchResult
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=32, n_layers=2, n_heads=2, d_ff=64,
+        context_window=64,
+    )
+    return TinyTransformer(cfg, seed=2)
+
+
+class TestMakeRecallCase:
+    def test_overflows_window(self):
+        rng = np.random.default_rng(0)
+        case = make_recall_case(window=64, rng=rng)
+        assert case.tokens.shape[0] > 2 * 64
+
+    def test_answer_positions_are_word_continuations(self):
+        rng = np.random.default_rng(1)
+        case = make_recall_case(window=64, rng=rng)
+        text = decode(case.tokens)
+        for pos in case.answer_positions:
+            # A continuation character: preceded by a letter of the word.
+            assert text[pos].isalpha()
+            assert text[pos - 1].isalpha()
+
+    def test_probe_words_seen_earlier(self):
+        rng = np.random.default_rng(2)
+        case = make_recall_case(window=64, rng=rng, probe_sentences=1)
+        text = decode(case.tokens)
+        # Extract probe words from the answer positions' spans.
+        probe_region_start = int(case.answer_positions[0]) - 1
+        body = text[:probe_region_start]
+        probe = text[probe_region_start:]
+        for word in probe.replace(".", " ").split():
+            assert word in body
+
+    def test_positions_strictly_increasing(self):
+        rng = np.random.default_rng(3)
+        case = make_recall_case(window=64, rng=rng)
+        diffs = np.diff(case.answer_positions)
+        assert np.all(diffs > 0)
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            make_recall_case(window=0, rng=np.random.default_rng(0))
+
+
+class TestWordRecallBenchmark:
+    def test_runs_all_schemes(self, model):
+        for scheme in Scheme:
+            result = run_word_recall_benchmark(
+                model, scheme, n_cases=2, window=64
+            )
+            assert isinstance(result, RetrievalBenchResult)
+            assert result.n_queries > 0
+            assert 0 <= result.accuracy <= 1
+
+    def test_deterministic_for_seed(self, model):
+        a = run_word_recall_benchmark(model, Scheme.CA, n_cases=2, seed=7)
+        b = run_word_recall_benchmark(model, Scheme.CA, n_cases=2, seed=7)
+        assert a.n_correct == b.n_correct
+        assert a.n_queries == b.n_queries
+
+
+class TestKVRetrievalBenchmark:
+    def test_runs(self, model):
+        result = run_retrieval_benchmark(
+            model, Scheme.TT, n_cases=2, n_pairs=20, window=48
+        )
+        assert result.n_queries == 2 * 3
+        assert 0 <= result.accuracy <= 1
+
+    def test_accuracy_zero_division_guard(self):
+        r = RetrievalBenchResult(Scheme.CA, 0, 0)
+        assert r.accuracy == 0.0

@@ -1,0 +1,117 @@
+"""Tests for real-model multi-turn serving with KV reuse."""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelConfig, TinyTransformer, VOCAB_SIZE
+from repro.model.serving import TinyChatServer
+
+
+@pytest.fixture(scope="module")
+def model():
+    cfg = ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=32, n_layers=2, n_heads=2, d_ff=64,
+        context_window=64,
+    )
+    return TinyTransformer(cfg, seed=11)
+
+
+def prompt(n, seed):
+    return np.random.default_rng(seed).integers(0, VOCAB_SIZE, size=n)
+
+
+class TestBasicServing:
+    def test_first_turn(self, model):
+        server = TinyChatServer(model)
+        result = server.serve_turn(1, prompt(10, 0), max_new_tokens=5)
+        assert result.reused_tokens == 0
+        assert result.prefilled_tokens == 10
+        assert 1 <= result.reply.shape[0] <= 5
+
+    def test_second_turn_reuses_cache(self, model):
+        server = TinyChatServer(model)
+        first = server.serve_turn(1, prompt(10, 0), max_new_tokens=5)
+        second = server.serve_turn(1, prompt(6, 1), max_new_tokens=5)
+        assert second.reused_tokens == 10 + first.reply.shape[0]
+        assert second.prefilled_tokens == 6  # only the new tokens
+
+    def test_sessions_isolated(self, model):
+        server = TinyChatServer(model)
+        server.serve_turn(1, prompt(10, 0))
+        result = server.serve_turn(2, prompt(10, 0))
+        assert result.reused_tokens == 0
+        assert len(server.sessions) == 2
+
+    def test_end_session(self, model):
+        server = TinyChatServer(model)
+        server.serve_turn(1, prompt(5, 0))
+        server.end_session(1)
+        assert server.stored_cache_tokens == 0
+        result = server.serve_turn(1, prompt(5, 1))
+        assert result.reused_tokens == 0
+
+    def test_stop_token(self, model):
+        server = TinyChatServer(model)
+        p = prompt(8, 3)
+        probe = server.serve_turn(99, p, max_new_tokens=8)
+        if probe.reply.shape[0] > 1:
+            stopper = int(probe.reply[1])
+            server2 = TinyChatServer(model)
+            result = server2.serve_turn(1, p, max_new_tokens=8, stop_token=stopper)
+            assert stopper not in result.reply[1:]
+
+    def test_validation(self, model):
+        server = TinyChatServer(model)
+        with pytest.raises(ValueError):
+            server.serve_turn(1, np.array([], dtype=np.int64))
+        with pytest.raises(ValueError):
+            server.serve_turn(1, prompt(4, 0), max_new_tokens=0)
+        with pytest.raises(ValueError):
+            TinyChatServer(model, truncation_ratio=1.0)
+
+
+class TestCachedEqualsRecompute:
+    """The paper's correctness claim: decoupled-PE reuse is exact."""
+
+    def test_replies_identical_across_turns(self, model):
+        cached = TinyChatServer(model, cached=True)
+        recompute = TinyChatServer(model, cached=False)
+        for turn in range(3):
+            p = prompt(7, 100 + turn)
+            a = cached.serve_turn(1, p, max_new_tokens=6)
+            b = recompute.serve_turn(1, p, max_new_tokens=6)
+            assert np.array_equal(a.reply, b.reply), f"turn {turn}"
+
+    def test_cached_prefills_far_less(self, model):
+        cached = TinyChatServer(model, cached=True)
+        recompute = TinyChatServer(model, cached=False)
+        for turn in range(4):
+            p = prompt(6, 200 + turn)
+            cached.serve_turn(1, p, max_new_tokens=4)
+            recompute.serve_turn(1, p, max_new_tokens=4)
+        assert cached.prefilled_tokens_total < 0.5 * recompute.prefilled_tokens_total
+
+
+class TestOverflow:
+    def test_window_overflow_truncates(self, model):
+        server = TinyChatServer(model, context_window=32)
+        server.serve_turn(1, prompt(20, 0), max_new_tokens=4)
+        result = server.serve_turn(1, prompt(20, 1), max_new_tokens=4)
+        assert result.truncated_tokens > 0
+        record = server.sessions[1]
+        assert len(record.cache) <= 32 + 4  # prompt window + small tail
+        assert len(record.history_tokens) == len(record.cache)
+
+    def test_history_and_cache_stay_aligned(self, model):
+        server = TinyChatServer(model, context_window=32)
+        for turn in range(5):
+            server.serve_turn(1, prompt(12, turn), max_new_tokens=3)
+            record = server.sessions[1]
+            assert len(record.history_tokens) == len(record.cache)
+
+    def test_serving_continues_after_many_overflows(self, model):
+        server = TinyChatServer(model, context_window=32)
+        for turn in range(6):
+            result = server.serve_turn(1, prompt(18, 50 + turn), max_new_tokens=2)
+            assert result.reply.shape[0] >= 1
+        assert server.sessions[1].turns_served == 6

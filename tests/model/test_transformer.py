@@ -1,0 +1,192 @@
+"""Tests for the NumPy transformer: shapes, gradients, cache equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.model import ModelConfig, PEMode, TinyTransformer, VOCAB_SIZE
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    cfg = ModelConfig(
+        vocab_size=VOCAB_SIZE, d_model=32, n_layers=2, n_heads=2, d_ff=64,
+        context_window=64,
+    )
+    return TinyTransformer(cfg, seed=3, dtype=np.float64)
+
+
+def tokens(n, seed=0):
+    return np.random.default_rng(seed).integers(0, VOCAB_SIZE, size=n)
+
+
+class TestConfig:
+    def test_head_dim(self):
+        assert ModelConfig(d_model=64, n_heads=4).head_dim == 16
+
+    def test_heads_must_divide(self):
+        with pytest.raises(ValueError):
+            ModelConfig(d_model=65, n_heads=4)
+
+    def test_head_dim_must_be_even(self):
+        with pytest.raises(ValueError):
+            ModelConfig(d_model=12, n_heads=4)  # head_dim 3
+
+    def test_window_validated(self):
+        with pytest.raises(ValueError):
+            ModelConfig(context_window=1)
+
+
+class TestForward:
+    def test_logit_shape(self, tiny):
+        logits, _ = tiny.forward(tokens(10)[None])
+        assert logits.shape == (1, 10, VOCAB_SIZE)
+
+    def test_causality(self, tiny):
+        """Changing a future token must not affect earlier logits."""
+        t1 = tokens(12, seed=1)
+        t2 = t1.copy()
+        t2[-1] = (t2[-1] + 1) % VOCAB_SIZE
+        l1, _ = tiny.forward(t1[None])
+        l2, _ = tiny.forward(t2[None])
+        assert np.allclose(l1[0, :-1], l2[0, :-1])
+        assert not np.allclose(l1[0, -1], l2[0, -1])
+
+    def test_batch_rows_independent(self, tiny):
+        a = tokens(8, seed=1)
+        b = tokens(8, seed=2)
+        batched, _ = tiny.forward(np.stack([a, b]))
+        single, _ = tiny.forward(a[None])
+        assert np.allclose(batched[0], single[0])
+
+    def test_n_params_positive(self, tiny):
+        assert tiny.n_params > 10_000
+
+
+class TestGradients:
+    def test_finite_difference_all_param_kinds(self, tiny):
+        rng = np.random.default_rng(9)
+        toks = rng.integers(0, VOCAB_SIZE, size=(2, 8))
+        targ = rng.integers(0, VOCAB_SIZE, size=(2, 8))
+        _, grads = tiny.loss_and_grads(toks, targ)
+        eps = 1e-6
+        for name in [
+            "emb", "wout", "lnf",
+            "l0.ln1", "l0.wq", "l0.wk", "l0.wv", "l0.wo",
+            "l1.ln2", "l1.w1", "l1.w2",
+        ]:
+            p = tiny.params[name]
+            idx = tuple(rng.integers(0, s) for s in p.shape)
+            orig = p[idx]
+            p[idx] = orig + eps
+            lp, _ = tiny.loss_and_grads(toks, targ)
+            p[idx] = orig - eps
+            lm, _ = tiny.loss_and_grads(toks, targ)
+            p[idx] = orig
+            numeric = (lp - lm) / (2 * eps)
+            analytic = grads[name][idx]
+            assert numeric == pytest.approx(analytic, rel=1e-3, abs=1e-9), name
+
+    def test_grads_cover_all_params(self, tiny):
+        toks = tokens(6)[None]
+        _, grads = tiny.loss_and_grads(toks, toks)
+        assert set(grads) == set(tiny.params)
+        for name, g in grads.items():
+            assert g.shape == tiny.params[name].shape, name
+
+
+class TestCacheEquivalence:
+    @pytest.mark.parametrize("mode", [PEMode.DECOUPLED, PEMode.EMBEDDED])
+    def test_incremental_matches_full(self, tiny, mode):
+        """Without truncation, both cache modes equal the full forward."""
+        t = tokens(20, seed=5)
+        full, _ = tiny.forward(t[None])
+        cache = tiny.new_cache(mode)
+        parts = [
+            tiny.forward_with_cache(t[:6], cache),
+            tiny.forward_with_cache(t[6:13], cache),
+            tiny.forward_with_cache(t[13:], cache),
+        ]
+        assert np.allclose(full[0], np.concatenate(parts), atol=1e-10)
+
+    def test_token_at_a_time_decoding(self, tiny):
+        t = tokens(10, seed=6)
+        full, _ = tiny.forward(t[None])
+        cache = tiny.new_cache()
+        rows = [tiny.forward_with_cache(t[i : i + 1], cache)[0] for i in range(10)]
+        assert np.allclose(full[0], np.stack(rows), atol=1e-10)
+
+    def test_cache_rejects_2d_block(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.forward_with_cache(tokens(6)[None], tiny.new_cache())
+
+
+class TestTruncationSemantics:
+    def test_decoupled_truncation_equals_recompute_positions(self, tiny):
+        """After decoupled truncation, logits must equal a fresh cache fed
+        the kept tokens *whose KV came from the longer context*?  No — the
+        K/V values differ (they attended to dropped tokens); what must
+        match is the positional geometry: scores computed at positions
+        0..k-1.  We verify the weaker, exact property: a decoupled cache's
+        keys are re-rotated at their current indices, so manually building
+        a cache from the kept KV yields identical next-token logits."""
+        t = tokens(16, seed=7)
+        cache = tiny.new_cache(PEMode.DECOUPLED)
+        tiny.forward_with_cache(t, cache)
+        cache.truncate(8)
+
+        clone = tiny.new_cache(PEMode.DECOUPLED)
+        for src, dst in zip(cache.layers, clone.layers):
+            dst.append(src.k.copy(), src.v.copy(), np.arange(8))
+        nxt = tokens(1, seed=8)
+        a = tiny.forward_with_cache(nxt, cache)
+        b = tiny.forward_with_cache(nxt, clone)
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_embedded_truncation_diverges_from_decoupled(self, tiny):
+        """NKVT: embedded positions make post-truncation logits differ."""
+        t = tokens(16, seed=9)
+        dec = tiny.new_cache(PEMode.DECOUPLED)
+        emb = tiny.new_cache(PEMode.EMBEDDED)
+        tiny.forward_with_cache(t, dec)
+        tiny.forward_with_cache(t, emb)
+        dec.truncate(8)
+        emb.truncate(8)
+        nxt = tokens(1, seed=10)
+        a = tiny.forward_with_cache(nxt, dec)
+        b = tiny.forward_with_cache(nxt, emb)
+        assert not np.allclose(a, b, atol=1e-6)
+
+    def test_no_truncation_modes_agree(self, tiny):
+        t = tokens(12, seed=11)
+        dec = tiny.new_cache(PEMode.DECOUPLED)
+        emb = tiny.new_cache(PEMode.EMBEDDED)
+        a = tiny.forward_with_cache(t, dec)
+        b = tiny.forward_with_cache(t, emb)
+        assert np.allclose(a, b, atol=1e-10)
+
+
+class TestStateDict:
+    def test_roundtrip(self, tiny):
+        state = tiny.state_dict()
+        clone = TinyTransformer(tiny.config, seed=99, dtype=np.float64)
+        clone.load_state_dict(state)
+        t = tokens(8, seed=12)
+        a, _ = tiny.forward(t[None])
+        b, _ = clone.forward(t[None])
+        assert np.allclose(a, b)
+
+    def test_unknown_key_rejected(self, tiny):
+        clone = TinyTransformer(tiny.config, seed=0)
+        with pytest.raises(KeyError):
+            clone.load_state_dict({"bogus": np.zeros(3)})
+
+    def test_shape_mismatch_rejected(self, tiny):
+        clone = TinyTransformer(tiny.config, seed=0)
+        with pytest.raises(ValueError):
+            clone.load_state_dict({"emb": np.zeros((2, 2))})
+
+    def test_sequence_nll_shape(self, tiny):
+        t = tokens(9, seed=13)
+        nll = tiny.sequence_nll(t)
+        assert nll.shape == (8,)
+        assert np.all(nll > 0)

@@ -1,0 +1,303 @@
+"""Tests for the AttentionStore facade."""
+
+import pytest
+
+from repro.config import EvictionPolicyName, StoreConfig
+from repro.sim import Channel
+from repro.store import (
+    AttentionStore,
+    ListQueueView,
+    LookupStatus,
+    Tier,
+    make_policy,
+)
+
+KB = 1000
+
+
+def make_store(
+    dram_items=4,
+    disk_items=16,
+    item_tokens=10,
+    bytes_per_token=KB,
+    **config_overrides,
+):
+    """Store sized in units of a ``item_tokens``-token item."""
+    item_bytes = item_tokens * bytes_per_token
+    config = StoreConfig(
+        dram_bytes=dram_items * item_bytes,
+        ssd_bytes=disk_items * item_bytes,
+        block_bytes=bytes_per_token,
+        dram_buffer_fraction=0.0,
+        **config_overrides,
+    )
+    return AttentionStore(config, bytes_per_token, Channel("ssd", 1e9))
+
+
+class TestSaveAndLookup:
+    def test_miss_when_absent(self):
+        store = make_store()
+        assert store.lookup(1, 0.0).status is LookupStatus.MISS
+
+    def test_save_then_hit_dram(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        result = store.lookup(1, 1.0)
+        assert result.status is LookupStatus.HIT_DRAM
+        assert result.n_tokens == 10
+
+    def test_save_replaces_existing(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        store.save(1, 20, now=1.0)
+        assert store.lookup(1, 2.0).n_tokens == 20
+        assert len(store) == 1
+
+    def test_save_rejects_bad_tokens(self):
+        with pytest.raises(ValueError):
+            make_store().save(1, 0, now=0.0)
+
+    def test_item_larger_than_dram_rejected(self):
+        store = make_store(dram_items=1, item_tokens=10)
+        assert store.save(1, 11, now=0.0) is None
+        assert store.stats.save_rejections == 1
+
+    def test_lookup_touches_lru(self):
+        store = make_store(dram_items=2)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        store.lookup(1, 2.0)  # 1 becomes most recent
+        store.save(3, 10, now=3.0)  # needs an eviction: victim must be 2
+        assert store.get(2).tier is Tier.DISK
+        assert store.get(1).tier is Tier.DRAM
+
+
+class TestEvictionCascade:
+    def test_dram_overflow_demotes_to_disk(self):
+        store = make_store(dram_items=2)
+        for sid in range(3):
+            store.save(sid, 10, now=float(sid))
+        assert store.get(0).tier is Tier.DISK
+        assert store.stats.evicted_to_disk == 1
+
+    def test_disk_overflow_evicts_out(self):
+        store = make_store(dram_items=1, disk_items=1)
+        for sid in range(3):
+            store.save(sid, 10, now=float(sid))
+        assert len(store) == 2
+        assert store.stats.evicted_out == 1
+        assert 0 not in store
+
+    def test_scheduler_aware_protects_queued(self):
+        store = make_store(dram_items=2)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        queue = ListQueueView([1])  # session 1 has an upcoming job
+        store.save(3, 10, now=2.0, queue=queue)
+        assert store.get(1).tier is Tier.DRAM
+        assert store.get(2).tier is Tier.DISK
+
+    def test_demotion_writes_to_ssd_channel(self):
+        store = make_store(dram_items=1)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        assert store.ssd.bytes_moved == 10 * KB
+
+    def test_delta_writeback_on_respill(self):
+        """A session re-spilled after growing writes only its new blocks."""
+        store = make_store(dram_items=2, disk_items=20)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)  # both fit in DRAM
+        store.save(3, 10, now=2.0)  # spills 1: full 10-token write
+        assert store.ssd.bytes_moved == 10 * KB
+        # Session 1 returns grown by 2 tokens; making room spills 2 and 3.
+        store.save(1, 12, now=3.0)
+        assert store.ssd.bytes_moved == 30 * KB
+        # Spilling 1 again only writes the 2 tokens disk does not hold.
+        store.save(4, 10, now=4.0)
+        assert store.ssd.bytes_moved == 32 * KB
+
+
+class TestTruncation:
+    def test_truncate_decoupled_shrinks(self):
+        store = make_store()
+        store.save(1, 10, now=0.0, position_decoupled=True)
+        assert store.truncate(1, 6)
+        assert store.lookup(1, 1.0).n_tokens == 6
+        assert store.stats.truncations == 1
+
+    def test_truncate_embedded_invalidates(self):
+        """The OF baseline: embedded positions make truncation fatal."""
+        store = make_store()
+        store.save(1, 10, now=0.0, position_decoupled=False)
+        assert not store.truncate(1, 6)
+        assert store.lookup(1, 1.0).status is LookupStatus.MISS
+        assert store.stats.invalidated == 1
+
+    def test_truncate_to_zero_drops(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        assert not store.truncate(1, 0)
+        assert 1 not in store
+
+    def test_truncate_noop_when_bigger(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        assert store.truncate(1, 15)
+        assert store.get(1).n_tokens == 10
+
+    def test_truncate_missing_returns_false(self):
+        assert not make_store().truncate(9, 5)
+
+    def test_apply_discard_list(self):
+        """The Section 3.4 compression hook drops TDL tokens."""
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        assert store.apply_discard_list(1, 3)
+        assert store.get(1).n_tokens == 7
+
+    def test_apply_discard_list_validates(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        with pytest.raises(ValueError):
+            store.apply_discard_list(1, -1)
+
+
+class TestInvalidation:
+    def test_invalidate_makes_miss(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        store.invalidate(1)
+        assert store.lookup(1, 1.0).status is LookupStatus.MISS
+        assert 1 not in store  # dropped by the lookup
+
+    def test_invalidate_missing_is_noop(self):
+        make_store().invalidate(12)
+
+
+class TestTTL:
+    def test_expired_item_misses(self):
+        store = make_store(ttl_seconds=100.0)
+        store.save(1, 10, now=0.0)
+        assert store.lookup(1, 50.0).hit
+        assert store.lookup(1, 200.0).status is LookupStatus.MISS
+
+    def test_access_refreshes_ttl(self):
+        store = make_store(ttl_seconds=100.0)
+        store.save(1, 10, now=0.0)
+        store.lookup(1, 90.0)
+        assert store.lookup(1, 150.0).hit
+
+    def test_sweep_removes_expired(self):
+        store = make_store(ttl_seconds=100.0)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=150.0)
+        assert store.sweep_expired(200.0) == 1
+        assert 1 not in store
+        assert 2 in store
+
+    def test_no_ttl_never_expires(self):
+        store = make_store()  # ttl None
+        store.save(1, 10, now=0.0)
+        assert store.lookup(1, 1e9).hit
+        assert store.sweep_expired(1e9) == 0
+
+
+class TestPrefetch:
+    def test_prefetch_promotes_disk_items(self):
+        store = make_store(dram_items=2)
+        for sid in range(3):
+            store.save(sid, 10, now=float(sid))
+        assert store.get(0).tier is Tier.DISK
+        issued = store.prefetch(ListQueueView([0]), now=10.0)
+        assert [sid for sid, _ in issued] == [0]
+        item = store.get(0)
+        assert item.tier is Tier.DRAM
+        assert item.fetch_in_flight
+        assert item.dram_ready_at > 10.0
+
+    def test_complete_fetch_clears_flag(self):
+        store = make_store(dram_items=2)
+        for sid in range(3):
+            store.save(sid, 10, now=float(sid))
+        store.prefetch(ListQueueView([0]), now=10.0)
+        store.complete_fetch(0)
+        assert not store.get(0).fetch_in_flight
+
+    def test_prefetch_disabled(self):
+        store = make_store(dram_items=2, enable_prefetch=False)
+        for sid in range(3):
+            store.save(sid, 10, now=float(sid))
+        assert store.prefetch(ListQueueView([0]), now=10.0) == []
+
+    def test_prefetch_skips_dram_residents(self):
+        store = make_store(dram_items=3)
+        store.save(1, 10, now=0.0)
+        assert store.prefetch(ListQueueView([1]), now=1.0) == []
+
+    def test_prefetch_respects_pinned_evictions(self):
+        """Prefetch must not evict a pinned session to make room."""
+        store = make_store(dram_items=1)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)  # 1 spills to disk
+        issued = store.prefetch(
+            ListQueueView([1]), now=2.0, pinned=frozenset({2})
+        )
+        assert issued == []  # no room without evicting the pinned item
+        assert store.get(2).tier is Tier.DRAM
+
+
+class TestWindows:
+    def test_eviction_window_formula(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        capacity = store.dram_tier.capacity_bytes + store.disk_tier.capacity_bytes
+        assert store.eviction_window_limit() == int(capacity / store.avg_item_bytes)
+
+    def test_prefetch_window_formula(self):
+        store = make_store()
+        store.save(1, 10, now=0.0)
+        expected = int(store.dram_tier.capacity_bytes / store.avg_item_bytes)
+        assert store.prefetch_window_limit() == expected
+
+    def test_avg_item_bytes_default(self):
+        store = make_store()
+        assert store.avg_item_bytes == 2048.0 * KB
+
+
+class TestHBMCacheTier:
+    def test_hbm_save_and_hit(self):
+        store = make_store(hbm_cache_bytes=100 * KB)
+        store.save_to_hbm_cache(1, 10, now=0.0)
+        assert store.lookup(1, 1.0).status is LookupStatus.HIT_HBM
+
+    def test_hbm_overflow_falls_to_dram(self):
+        store = make_store(dram_items=4, hbm_cache_bytes=10 * KB)
+        store.save_to_hbm_cache(1, 10, now=0.0)
+        store.save_to_hbm_cache(2, 10, now=1.0)
+        tiers = {store.get(1).tier, store.get(2).tier}
+        assert Tier.HBM in tiers and Tier.DRAM in tiers
+
+    def test_hbm_only_drops_on_overflow(self):
+        store = make_store(dram_items=0, disk_items=0, hbm_cache_bytes=10 * KB)
+        store.save_to_hbm_cache(1, 10, now=0.0)
+        store.save_to_hbm_cache(2, 10, now=1.0)
+        assert len(store) == 1
+
+    def test_without_hbm_tier_delegates_to_dram(self):
+        store = make_store()
+        store.save_to_hbm_cache(1, 10, now=0.0)
+        assert store.lookup(1, 1.0).status is LookupStatus.HIT_DRAM
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            EvictionPolicyName.SCHEDULER_AWARE,
+            EvictionPolicyName.LRU,
+            EvictionPolicyName.FIFO,
+        ],
+    )
+    def test_known_policies(self, name):
+        assert make_policy(name).name == name.value

@@ -1,0 +1,112 @@
+"""Tests for the block-based storage allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.store import BlockAllocator, OutOfBlocksError
+
+
+class TestBlockAllocator:
+    def test_capacity_rounds_down_to_blocks(self):
+        alloc = BlockAllocator(capacity_bytes=100, block_bytes=30)
+        assert alloc.total_blocks == 3
+        assert alloc.capacity_bytes == 90
+
+    def test_blocks_needed_ceils(self):
+        alloc = BlockAllocator(1000, 10)
+        assert alloc.blocks_needed(0) == 0
+        assert alloc.blocks_needed(1) == 1
+        assert alloc.blocks_needed(10) == 1
+        assert alloc.blocks_needed(11) == 2
+
+    def test_allocate_and_free(self):
+        alloc = BlockAllocator(100, 10)
+        a = alloc.allocate(25)
+        assert a.n_blocks == 3
+        assert alloc.free_blocks == 7
+        alloc.free(a)
+        assert alloc.free_blocks == 10
+
+    def test_internal_fragmentation(self):
+        alloc = BlockAllocator(100, 10)
+        a = alloc.allocate(25)
+        assert a.internal_fragmentation == 5
+        assert alloc.internal_fragmentation_bytes == 5
+        alloc.free(a)
+        assert alloc.internal_fragmentation_bytes == 0
+
+    def test_out_of_blocks(self):
+        alloc = BlockAllocator(30, 10)
+        alloc.allocate(30)
+        with pytest.raises(OutOfBlocksError):
+            alloc.allocate(1)
+
+    def test_double_free_rejected(self):
+        alloc = BlockAllocator(100, 10)
+        a = alloc.allocate(10)
+        alloc.free(a)
+        with pytest.raises(KeyError):
+            alloc.free(a)
+
+    def test_can_allocate(self):
+        alloc = BlockAllocator(30, 10)
+        assert alloc.can_allocate(30)
+        assert not alloc.can_allocate(31)
+
+    def test_resize_shrink(self):
+        alloc = BlockAllocator(100, 10)
+        a = alloc.allocate(50)
+        b = alloc.resize(a, 20)
+        assert b.n_blocks == 2
+        assert alloc.free_blocks == 8
+
+    def test_resize_grow_fails_restores_original(self):
+        alloc = BlockAllocator(100, 10)
+        a = alloc.allocate(60)
+        alloc.allocate(40)
+        with pytest.raises(OutOfBlocksError):
+            alloc.resize(a, 70)
+        # Original allocation must still be live.
+        assert alloc.used_blocks == 10
+        alloc.free(a)
+        assert alloc.free_blocks == 6
+
+    def test_zero_capacity(self):
+        alloc = BlockAllocator(0, 10)
+        assert not alloc.can_allocate(1)
+        assert alloc.can_allocate(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockAllocator(-1, 10)
+        with pytest.raises(ValueError):
+            BlockAllocator(100, 0)
+        with pytest.raises(ValueError):
+            BlockAllocator(100, 10).blocks_needed(-5)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=40)
+    )
+    def test_alloc_free_conservation(self, sizes):
+        """Property: freeing everything restores the full pool."""
+        alloc = BlockAllocator(10_000, 16)
+        live = []
+        for size in sizes:
+            try:
+                live.append(alloc.allocate(size))
+            except OutOfBlocksError:
+                if live:
+                    alloc.free(live.pop())
+        used = sum(a.n_blocks for a in live)
+        assert alloc.used_blocks == used
+        for a in live:
+            alloc.free(a)
+        assert alloc.free_blocks == alloc.total_blocks
+        assert alloc.internal_fragmentation_bytes == 0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_allocation_covers_request(self, size):
+        alloc = BlockAllocator(100_000, 64)
+        a = alloc.allocate(size)
+        assert a.allocated_bytes >= size
+        assert a.allocated_bytes - size < 64

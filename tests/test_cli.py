@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_workload_args(self):
+        args = build_parser().parse_args(
+            ["workload", "--sessions", "10", "--out", "t.json"]
+        )
+        assert args.command == "workload"
+        assert args.sessions == 10
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mode == "ca"
+        assert args.model == "llama-13b"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--model", "gpt-99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "llama-13b" in out
+        assert "falcon-40b" in out
+
+    def test_workload_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        assert main(
+            ["workload", "--sessions", "12", "--out", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+        assert "12 sessions" in capsys.readouterr().out
+
+    def test_run_on_saved_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.json"
+        main(["workload", "--sessions", "10", "--out", str(out_file)])
+        assert main(
+            [
+                "run",
+                "--trace", str(out_file),
+                "--model", "llama-13b",
+                "--batch-size", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache hit rate" in out
+        assert "mean TTFT" in out
+
+    def test_run_re_mode(self, capsys):
+        assert main(
+            ["run", "--sessions", "8", "--mode", "re", "--batch-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[re]" in out
+
+    def test_run_with_ablation_flags(self, capsys):
+        assert main(
+            [
+                "run", "--sessions", "8", "--batch-size", "4",
+                "--no-prefetch", "--no-preload", "--sync-save",
+                "--policy", "lru",
+            ]
+        ) == 0
+        assert "store:" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "--sessions", "10", "--batch-size", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CachedAttention" in out
+        assert "cost saving" in out
+
+    def test_capacity(self, capsys):
+        assert main(
+            ["capacity", "--sessions", "20", "--ttl", "600"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "CCpUT" in out
+        assert "DSpUT" in out

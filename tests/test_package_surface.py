@@ -1,0 +1,58 @@
+"""The public API surface: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.engine",
+    "repro.hardware",
+    "repro.model",
+    "repro.sim",
+    "repro.store",
+    "repro.workload",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+class TestPublicSurface:
+    def test_all_exports_resolve(self, package):
+        module = importlib.import_module(package)
+        assert hasattr(module, "__all__"), package
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package}.{name}"
+
+    def test_all_is_sorted(self, package):
+        module = importlib.import_module(package)
+        assert list(module.__all__) == sorted(module.__all__), package
+
+    def test_module_docstring(self, package):
+        module = importlib.import_module(package)
+        assert module.__doc__ and module.__doc__.strip(), package
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        assert repro.__version__.count(".") == 2
+
+
+class TestPublicClassesDocumented:
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_exported_classes_have_docstrings(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+    @pytest.mark.parametrize("package", PACKAGES)
+    def test_exported_functions_have_docstrings(self, package):
+        module = importlib.import_module(package)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj) and not isinstance(obj, type):
+                assert obj.__doc__, f"{package}.{name} lacks a docstring"

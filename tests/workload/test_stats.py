@@ -1,0 +1,107 @@
+"""Tests for workload statistics (Figures 2 and 4a)."""
+
+import pytest
+
+from repro.workload import (
+    fraction_multi_turn,
+    generate_trace,
+    mean_turns,
+    per_turn_token_stats,
+    repetition_fraction,
+    session_length_percentiles,
+    session_length_survival,
+    turn_count_histogram,
+)
+from repro.workload.trace import Conversation, Trace, Turn
+
+
+def fixed_trace():
+    """Two conversations with hand-computable statistics."""
+    return Trace(
+        conversations=[
+            Conversation(0, 0.0, (Turn(10, 10), Turn(10, 10, 1.0))),
+            Conversation(1, 1.0, (Turn(100, 100),)),
+        ]
+    )
+
+
+class TestBasicStats:
+    def test_turn_count_histogram(self):
+        assert turn_count_histogram(fixed_trace()) == {1: 1, 2: 1}
+
+    def test_fraction_multi_turn(self):
+        assert fraction_multi_turn(fixed_trace()) == 0.5
+
+    def test_mean_turns(self):
+        assert mean_turns(fixed_trace()) == 1.5
+
+    def test_survival(self):
+        # Session 0 totals 40 tokens, session 1 totals 200.
+        s = session_length_survival(fixed_trace(), [50, 150, 300])
+        assert s[50] == 0.5
+        assert s[150] == 0.5
+        assert s[300] == 0.0
+
+    def test_percentiles_monotone(self):
+        p = session_length_percentiles(fixed_trace(), [10.0, 90.0])
+        assert p[10.0] <= p[90.0]
+
+    def test_empty_trace_raises(self):
+        with pytest.raises(ValueError):
+            fraction_multi_turn(Trace())
+        with pytest.raises(ValueError):
+            mean_turns(Trace())
+        with pytest.raises(ValueError):
+            session_length_survival(Trace(), [10])
+
+
+class TestPerTurnStats:
+    def test_first_turn_has_no_history(self):
+        stats = per_turn_token_stats(fixed_trace())
+        assert stats[0].turn_index == 0
+        assert stats[0].mean_history == 0.0
+        assert stats[0].history_fraction == 0.0
+
+    def test_second_turn_history(self):
+        stats = per_turn_token_stats(fixed_trace())
+        # Only session 0 has a second turn: history = 20 tokens, new q = 10.
+        assert stats[1].mean_history == 20.0
+        assert stats[1].mean_new == 10.0
+        assert stats[1].history_fraction == pytest.approx(20 / 30)
+
+    def test_observation_counts(self):
+        stats = per_turn_token_stats(fixed_trace())
+        assert stats[0].n_observations == 2
+        assert stats[1].n_observations == 1
+
+    def test_history_fraction_grows_with_turns(self):
+        """Figure 4a: historical share approaches 1 in later turns."""
+        trace = generate_trace(n_sessions=2000, seed=3)
+        stats = per_turn_token_stats(trace, max_turn=12)
+        fractions = [s.history_fraction for s in stats]
+        assert fractions[0] == 0.0
+        assert fractions[3] > 0.8
+        assert fractions[-1] > 0.9
+        # Monotone over the well-populated early turns (later turns are a
+        # shrinking, survivor-biased subsample).
+        early = fractions[:6]
+        assert early == sorted(early)
+
+
+class TestRepetitionFraction:
+    def test_hand_computed(self):
+        # Session 0 turn 2 prefills 20 repeated + 10 new; turn 1 and the
+        # single-turn session have no repeats.
+        # repeated = 20, total = 10 + 30 + 100 = 140.
+        assert repetition_fraction(fixed_trace()) == pytest.approx(20 / 140)
+
+    def test_realistic_trace_mostly_repetition(self):
+        """Section 2.3: up to 99 % of prefill is repeated computation."""
+        trace = generate_trace(n_sessions=2000, seed=3)
+        assert repetition_fraction(trace) > 0.90
+
+    def test_single_turn_only_trace_has_no_repetition(self):
+        trace = Trace(
+            conversations=[Conversation(0, 0.0, (Turn(5, 5),))]
+        )
+        assert repetition_fraction(trace) == 0.0
