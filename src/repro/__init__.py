@@ -14,6 +14,7 @@ Top-level packages:
 * :mod:`repro.hardware` — roofline GPU/transfer performance model.
 * :mod:`repro.store` — AttentionStore (tiers, policies, prefetch).
 * :mod:`repro.engine` — continuous-batching serving engine (RE vs CA).
+* :mod:`repro.faults` — fault injection and graceful degradation.
 * :mod:`repro.model` — trainable NumPy RoPE transformer for the quality
   experiments (decoupled vs embedded positional encodings).
 * :mod:`repro.analysis` — cost/capacity analysis and report formatting.
@@ -28,6 +29,7 @@ from .config import (
     StoreConfig,
     TruncationPolicyName,
 )
+from .faults import DegradedWindow, FaultConfig, TierLossEvent, fault_profile
 from .models import (
     EVALUATION_MODELS,
     MODEL_REGISTRY,
@@ -42,9 +44,11 @@ from .models import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "DegradedWindow",
     "EVALUATION_MODELS",
     "EngineConfig",
     "EvictionPolicyName",
+    "FaultConfig",
     "GPUSpec",
     "GiB",
     "HardwareConfig",
@@ -54,8 +58,10 @@ __all__ = [
     "ServingMode",
     "StoreConfig",
     "TiB",
+    "TierLossEvent",
     "TruncationPolicyName",
     "__version__",
+    "fault_profile",
     "get_model",
     "register_model",
 ]

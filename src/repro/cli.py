@@ -12,6 +12,7 @@ Examples::
 
     python -m repro.cli workload --sessions 500 --out trace.json
     python -m repro.cli run --trace trace.json --model llama-13b
+    python -m repro.cli run --sessions 300 --fault-profile chaos
     python -m repro.cli compare --sessions 300 --model llama-13b
     python -m repro.cli capacity --sessions 500 --model llama-13b --ttl 3600
 """
@@ -37,6 +38,7 @@ from .config import (
     StoreConfig,
 )
 from .engine import RunResult, ServingEngine
+from .faults import FAULT_PROFILES, fault_profile
 from .models import MODEL_REGISTRY, GiB, get_model
 from .workload import Trace, WorkloadSpec, generate_trace
 
@@ -79,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="serve a trace")
     add_serving_args(run)
     run.add_argument("--mode", default="ca", choices=["ca", "re"])
+    run.add_argument(
+        "--fault-profile",
+        default="none",
+        choices=FAULT_PROFILES,
+        help="inject storage faults (graceful-degradation demo)",
+    )
+    run.add_argument("--fault-seed", type=int, default=0)
 
     cmp_ = sub.add_parser("compare", help="run CA and RE on one trace")
     add_serving_args(cmp_)
@@ -120,12 +129,16 @@ def _build_engine(args: argparse.Namespace, mode: ServingMode) -> ServingEngine:
             policy=EvictionPolicyName(args.policy),
             enable_prefetch=not args.no_prefetch,
         )
+    fault_config = fault_profile(
+        getattr(args, "fault_profile", "none"), seed=getattr(args, "fault_seed", 0)
+    )
     return ServingEngine(
         model,
         hardware=HardwareConfig().for_model(model),
         engine_config=engine_config,
         store_config=store_config,
         warmup_turns=args.warmup_turns,
+        fault_config=fault_config,
     )
 
 
@@ -173,6 +186,17 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     if result.store_stats is not None:
         print(f"\nstore: {result.store_stats}")
+    if args.fault_profile != "none" and result.store_stats is not None:
+        stats = result.store_stats
+        print(
+            f"faults [{args.fault_profile}]: "
+            f"{stats.transfer_faults} transfer faults "
+            f"({stats.transfer_retries} retried), "
+            f"{stats.corrupt_misses} corrupt, {stats.lost_items} lost, "
+            f"{result.summary.fallbacks} recompute fallbacks, "
+            f"{stats.breaker_trips} breaker trips "
+            f"({stats.breaker_recoveries} recoveries)"
+        )
     return 0
 
 

@@ -36,6 +36,14 @@ class GPUSpec:
     mbu: float = 0.70
 
     def __post_init__(self) -> None:
+        if self.peak_flops <= 0:
+            raise ValueError(f"peak_flops must be positive, got {self.peak_flops}")
+        if self.hbm_bytes <= 0:
+            raise ValueError(f"hbm_bytes must be positive, got {self.hbm_bytes}")
+        if self.hbm_bandwidth <= 0:
+            raise ValueError(
+                f"hbm_bandwidth must be positive, got {self.hbm_bandwidth}"
+            )
         if not (0.0 < self.mfu <= 1.0):
             raise ValueError(f"mfu must be in (0, 1], got {self.mfu}")
         if not (0.0 < self.mbu <= 1.0):
@@ -64,6 +72,11 @@ class HardwareConfig:
         for attr in ("pcie_bandwidth", "ssd_bandwidth"):
             if getattr(self, attr) <= 0:
                 raise ValueError(f"{attr} must be positive")
+        for attr in ("dram_bytes", "ssd_bytes"):
+            if getattr(self, attr) < 0:
+                raise ValueError(
+                    f"{attr} must be non-negative, got {getattr(self, attr)}"
+                )
 
     @property
     def total_hbm_bytes(self) -> int:

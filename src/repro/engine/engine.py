@@ -27,11 +27,13 @@ from ..config import (
     StoreConfig,
     TruncationPolicyName,
 )
+from ..faults import FaultConfig, FaultInjector
 from ..hardware.perf import PerfModel
 from ..models import ModelSpec
-from ..sim.channel import Channel, ChannelPair
+from ..sim.channel import Channel, ChannelPair, FaultyTransfer
 from ..sim.loop import Simulator
 from ..store.attention_store import AttentionStore, LookupStatus, StoreStats
+from ..store.item import Tier
 from ..workload.trace import Conversation, Trace
 from .batching import ActiveJob, BatchState
 from .metrics import MetricsCollector, RunSummary, TurnOutcome, TurnRecord
@@ -76,6 +78,7 @@ class ServingEngine:
         engine_config: EngineConfig | None = None,
         store_config: StoreConfig | None = None,
         warmup_turns: int = 0,
+        fault_config: FaultConfig | None = None,
     ) -> None:
         self.model = model
         self.hardware = hardware or HardwareConfig().for_model(model)
@@ -92,12 +95,23 @@ class ServingEngine:
         self.ssd = Channel("ssd", self.hardware.ssd_bandwidth)
         self.disk_path = ChannelPair(self.ssd, self.pcie_h2d)
 
+        # An inert fault config (all rates zero) builds no injector, so
+        # default runs take the exact pre-fault code paths.
+        self.fault_config: FaultConfig | None = None
+        self.faults: FaultInjector | None = None
+        if fault_config is not None and fault_config.enabled:
+            self.fault_config = fault_config
+            self.faults = FaultInjector(fault_config)
+            for channel in (self.pcie_h2d, self.pcie_d2h, self.ssd):
+                channel.fault_hook = self.faults
+
         self.store: AttentionStore | None = None
         if self.config.mode is ServingMode.CACHED:
             self.store = AttentionStore(
                 store_config or StoreConfig(),
                 model.kv_bytes_per_token,
                 ssd_channel=self.ssd,
+                fault_injector=self.faults,
             )
 
         self.queue = SchedulerQueue()
@@ -142,6 +156,12 @@ class ServingEngine:
             self.sim.at(conv.arrival_time, self._session_starter(conv))
         if self.store is not None and self.store.config.ttl_seconds is not None:
             self.sim.after(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+        if self.store is not None and self.fault_config is not None:
+            for event in self.fault_config.tier_loss_events:
+                self.sim.at(
+                    event.at,
+                    lambda tier=Tier(event.tier): self.store.lose_tier(tier),  # type: ignore[union-attr]
+                )
         self.sim.run()
         return RunResult(
             summary=self.metrics.summarise(),
@@ -243,10 +263,23 @@ class ServingEngine:
             turn_outcome = TurnOutcome.MISS
             if self.store is not None and outcome.history_tokens > 0:
                 result = self.store.lookup(request.session_id, now)
-                if result.hit:
-                    turn_outcome = TurnOutcome.from_lookup(result.status)
+                if result.status is LookupStatus.MISS_CORRUPT:
+                    # Checksum mismatch: the cache is dropped, never
+                    # served; this turn recomputes its history in full.
+                    turn_outcome = TurnOutcome.FALLBACK_RECOMPUTE
+                    self.store.stats.fallback_recomputes += 1
+                elif result.hit:
                     reused = min(result.n_tokens, outcome.history_tokens)
-                    load_time = self._kv_load_time(result.status, result.ready_at, reused)
+                    load = self._kv_load_time(result.status, result.ready_at, reused)
+                    if load is None:
+                        # The KV load failed past the retry budget (or the
+                        # SSD breaker is open): degrade to recompute.
+                        turn_outcome = TurnOutcome.FALLBACK_RECOMPUTE
+                        self.store.stats.fallback_recomputes += 1
+                        reused = 0
+                    else:
+                        turn_outcome = TurnOutcome.from_lookup(result.status)
+                        load_time = load
 
         new_tokens = prompt - reused
         compute_time = (
@@ -331,20 +364,74 @@ class ServingEngine:
         else:
             self._continue_prefill(job, remaining_slices, slice_duration)
 
-    def _kv_load_time(self, status: LookupStatus, ready_at: float, n_tokens: int) -> float:
-        """Duration to bring a session's KV into HBM, from lookup status."""
+    def _kv_load_time(
+        self, status: LookupStatus, ready_at: float, n_tokens: int
+    ) -> float | None:
+        """Duration to bring a session's KV into HBM, from lookup status.
+
+        Returns None when the load could not complete under fault
+        injection (retry budget exhausted, or the SSD breaker is open);
+        the caller falls back to recomputing the history.
+        """
         now = self.sim.now
         n_bytes = self.model.kv_bytes(n_tokens)
         if status is LookupStatus.HIT_HBM:
             return 0.0
         if status is LookupStatus.HIT_DRAM:
             start = max(now, ready_at)
-            done = self.pcie_h2d.transfer(start, n_bytes)
-            return done - now
+            done = self._fault_tolerant_transfer(self.pcie_h2d, start, n_bytes)
+            return None if done is None else done - now
         if status is LookupStatus.HIT_DISK:
-            done = self.disk_path.transfer(now, n_bytes)
-            return done - now
+            if self.store is not None and not self.store.ssd_available(now):
+                return None
+            done = self._fault_tolerant_transfer(self.disk_path, now, n_bytes)
+            return None if done is None else done - now
         raise ValueError(f"no load for lookup status {status}")
+
+    def _fault_tolerant_transfer(
+        self, link: Channel | ChannelPair, start: float, n_bytes: int
+    ) -> float | None:
+        """Run one engine-side transfer, absorbing injected faults.
+
+        Without an injector this is a plain ``link.transfer``.  With one,
+        transient failures are retried with capped exponential backoff up
+        to the configured budget; SSD failures additionally feed the
+        store's SSD health breaker.  Returns the completion time, or None
+        when the transfer could not be completed.
+        """
+        if self.faults is None:
+            return link.transfer(start, n_bytes)
+        fc = self.faults.config
+        stats = self.store.stats if self.store is not None else None
+        health = self.store.ssd_health if self.store is not None else None
+        attempt = 0
+        t = start
+        while True:
+            try:
+                done = link.transfer(t, n_bytes)
+            except FaultyTransfer as fault:
+                if stats is not None:
+                    stats.transfer_faults += 1
+                if fault.channel == "ssd" and health is not None:
+                    if health.record_failure(t):
+                        if stats is not None:
+                            stats.breaker_trips += 1
+                        return None
+                if attempt >= fc.max_retries:
+                    return None
+                attempt += 1
+                if stats is not None:
+                    stats.transfer_retries += 1
+                t = max(t, fault.busy_until) + fc.backoff(attempt)
+                continue
+            if (
+                isinstance(link, ChannelPair)
+                and health is not None
+                and health.record_success()
+                and stats is not None
+            ):
+                stats.breaker_recoveries += 1
+            return done
 
     def _on_prefill_done(self, job: ActiveJob) -> None:
         # The GPU was already released by the final prefill slice handler.
@@ -460,7 +547,14 @@ class ServingEngine:
         delta_tokens = record.new_tokens + record.generated_tokens
         n_bytes = self.model.kv_bytes(delta_tokens)
         save_time = self.pcie_d2h.duration(n_bytes)
-        self.pcie_d2h.transfer(now, n_bytes)
+        done = self._fault_tolerant_transfer(self.pcie_d2h, now, n_bytes)
+        if done is None:
+            # The write-back failed: the stored copy is incomplete, so the
+            # turn degrades to "not retained" — drop it and move on
+            # without blocking the GPU.
+            self.store.drop(job.session_id)
+            self.store.stats.failed_saves += 1
+            return 0.0
         if self.config.enable_async_save:
             overlap_window = max(0.0, now - job.decode_wall_start)
             return async_save_blocking_time(

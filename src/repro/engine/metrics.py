@@ -34,6 +34,10 @@ class TurnOutcome(str, Enum):
     HIT_DRAM = "hit-dram"
     HIT_DISK = "hit-disk"
     MISS = "miss"  # history existed but had to be recomputed
+    # A cached history existed but could not be used — corrupt at lookup,
+    # or its KV load failed past the retry budget — so the engine fell
+    # back to full-recompute prefill (graceful degradation toward RE).
+    FALLBACK_RECOMPUTE = "fallback-recompute"
 
     @classmethod
     def from_lookup(cls, status: LookupStatus) -> "TurnOutcome":
@@ -42,6 +46,7 @@ class TurnOutcome(str, Enum):
             LookupStatus.HIT_DRAM: cls.HIT_DRAM,
             LookupStatus.HIT_DISK: cls.HIT_DISK,
             LookupStatus.MISS: cls.MISS,
+            LookupStatus.MISS_CORRUPT: cls.FALLBACK_RECOMPUTE,
         }[status]
 
     @property
@@ -91,6 +96,11 @@ class RunSummary:
     hits_disk: int
     hits_hbm: int
     misses: int
+    #: Turns that fell back to full recompute because a cached history
+    #: could not be used (corruption, failed KV load).  Counted in
+    #: ``n_lookups`` (they degrade the hit rate) but kept separate from
+    #: plain capacity misses.
+    fallbacks: int
     mean_ttft: float
     p95_ttft: float
     mean_queue_delay: float
@@ -191,6 +201,7 @@ class MetricsCollector:
             hits_disk=outcome_counts[TurnOutcome.HIT_DISK],
             hits_hbm=outcome_counts[TurnOutcome.HIT_HBM],
             misses=outcome_counts[TurnOutcome.MISS],
+            fallbacks=outcome_counts[TurnOutcome.FALLBACK_RECOMPUTE],
             mean_ttft=sum(ttfts) / n if n else 0.0,
             p95_ttft=ttfts[min(n - 1, int(0.95 * n))] if n else 0.0,
             mean_queue_delay=(

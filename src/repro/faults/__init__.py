@@ -1,0 +1,41 @@
+"""Fault injection and graceful degradation for AttentionStore serving.
+
+CachedAttention's safety net is its RE baseline: a lost, corrupt or
+unreachable KV cache costs a full-recompute prefill, never a crash and
+never a wrong answer.  This package makes that fallback explicit and
+measurable:
+
+* :class:`FaultConfig` / :func:`fault_profile` — per-fault-class rates and
+  episode windows (transient SSD/PCIe failures, bandwidth degradation, KV
+  corruption, whole-tier loss) plus retry/breaker policy knobs;
+* :class:`FaultInjector` — one seeded RNG per run drawing every fault
+  decision deterministically; doubles as the channel fault hook;
+* :class:`TierHealth` — a consecutive-failure circuit breaker that bypasses
+  a sick tier and probes it for recovery after a cooldown.
+
+The store and engine consult these objects only when a run opts in; with
+no injector configured the serving paths are untouched.
+"""
+
+from .config import (
+    FAULT_PROFILES,
+    TIER_NAMES,
+    DegradedWindow,
+    FaultConfig,
+    TierLossEvent,
+    fault_profile,
+)
+from .health import BreakerState, TierHealth
+from .injector import FaultInjector
+
+__all__ = [
+    "BreakerState",
+    "DegradedWindow",
+    "FAULT_PROFILES",
+    "FaultConfig",
+    "FaultInjector",
+    "TIER_NAMES",
+    "TierHealth",
+    "TierLossEvent",
+    "fault_profile",
+]

@@ -1,0 +1,189 @@
+"""Fault-injection configuration.
+
+:class:`FaultConfig` describes which faults a run injects and how the
+system is allowed to react to them.  Four fault classes model the ways an
+AttentionStore deployment degrades in production:
+
+* **transient transfer failures** — an SSD or PCIe transfer aborts (CRC
+  error, command timeout); per-transfer probability, retried with capped
+  exponential backoff up to ``max_retries``;
+* **bandwidth degradation** — a link's effective bandwidth drops to a
+  fraction of nominal during :class:`DegradedWindow` episodes (e.g. an SSD
+  garbage-collection storm pinning it at 20 % for two minutes);
+* **KV-item corruption** — a stored cache fails checksum validation when
+  it is next looked up and must not be served;
+* **whole-tier loss** — a :class:`TierLossEvent` drops every item resident
+  in one tier at a point in time (host restart wiping DRAM, disk failure).
+
+All randomised decisions are drawn from one dedicated seeded RNG owned by
+the run's :class:`~repro.faults.injector.FaultInjector`, never from global
+state, so a (trace, config) pair replays identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Tier names accepted by :class:`TierLossEvent` (string-typed so this
+#: package stays import-free of :mod:`repro.store`).
+TIER_NAMES = ("hbm", "dram", "disk")
+
+
+@dataclass(frozen=True)
+class DegradedWindow:
+    """One bandwidth-degradation episode on a channel.
+
+    The channel runs at ``factor`` of nominal bandwidth from ``start`` for
+    ``duration`` seconds; with a ``period`` the episode repeats (a window
+    every ``period`` seconds, phase-aligned to ``start``).
+    """
+
+    start: float
+    duration: float
+    factor: float
+    period: float | None = None
+    channel: str = "ssd"
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if not (0.0 < self.factor <= 1.0):
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+        if self.period is not None and self.period < self.duration:
+            raise ValueError(
+                f"period ({self.period}) must be >= duration ({self.duration})"
+            )
+
+    def active(self, now: float) -> bool:
+        """Whether the degradation applies at simulated time ``now``."""
+        if now < self.start:
+            return False
+        offset = now - self.start
+        if self.period is not None:
+            offset %= self.period
+        return offset < self.duration
+
+
+@dataclass(frozen=True)
+class TierLossEvent:
+    """A simulated restart dropping one storage tier's entire contents."""
+
+    at: float
+    tier: str = "dram"
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.tier not in TIER_NAMES:
+            raise ValueError(f"tier must be one of {TIER_NAMES}, got {self.tier!r}")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-fault-class rates/windows plus the degradation policy knobs.
+
+    With the defaults (all rates zero, no windows or loss events) the
+    config is inert — :attr:`enabled` is False and the engine builds no
+    injector, so the fault machinery costs nothing and runs are
+    bit-identical to a fault-free engine.
+    """
+
+    seed: int = 0
+    #: Per-transfer probability that an SSD transfer fails transiently.
+    ssd_fault_rate: float = 0.0
+    #: Per-transfer probability that a PCIe transfer fails transiently.
+    pcie_fault_rate: float = 0.0
+    #: Per-save probability that the stored KV is corrupt (detected by
+    #: checksum at the next lookup; never served).
+    corruption_rate: float = 0.0
+    #: Per-save probability that the stored KV is silently lost before its
+    #: next use (plain miss at lookup).
+    loss_rate: float = 0.0
+    degraded_windows: tuple[DegradedWindow, ...] = ()
+    tier_loss_events: tuple[TierLossEvent, ...] = ()
+    #: Retry budget for transient transfer failures.
+    max_retries: int = 3
+    #: Base backoff before the first retry (seconds); doubles per attempt.
+    retry_backoff: float = 1e-3
+    retry_backoff_cap: float = 0.1
+    #: Consecutive SSD failures that trip the tier's circuit breaker.
+    breaker_threshold: int = 5
+    #: Seconds a tripped breaker stays open before a recovery probe.
+    breaker_cooldown: float = 30.0
+
+    def __post_init__(self) -> None:
+        for attr in ("ssd_fault_rate", "pcie_fault_rate", "corruption_rate", "loss_rate"):
+            value = getattr(self, attr)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{attr} must be in [0, 1], got {value}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff < 0 or self.retry_backoff_cap < 0:
+            raise ValueError("retry backoff values must be >= 0")
+        if self.breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown <= 0:
+            raise ValueError(
+                f"breaker_cooldown must be positive, got {self.breaker_cooldown}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when this config can actually inject at least one fault."""
+        return (
+            self.ssd_fault_rate > 0.0
+            or self.pcie_fault_rate > 0.0
+            or self.corruption_rate > 0.0
+            or self.loss_rate > 0.0
+            or bool(self.degraded_windows)
+            or bool(self.tier_loss_events)
+        )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (1-based), capped."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.retry_backoff_cap, self.retry_backoff * (2 ** (attempt - 1)))
+
+
+#: CLI-facing preset names (``repro run --fault-profile ...``).
+FAULT_PROFILES = ("none", "flaky-ssd", "degraded-ssd", "chaos")
+
+
+def fault_profile(name: str, seed: int = 0) -> FaultConfig | None:
+    """Build the :class:`FaultConfig` for a named CLI fault profile.
+
+    * ``none`` — no injection (returns None).
+    * ``flaky-ssd`` — 5 % transient SSD transfer failure rate.
+    * ``degraded-ssd`` — SSD at 20 % bandwidth for 2 minutes in every 10.
+    * ``chaos`` — flaky SSD and PCIe, 2 % KV corruption, 1 % silent loss,
+      periodic SSD degradation and a DRAM wipe 15 minutes in.
+    """
+    if name == "none":
+        return None
+    if name == "flaky-ssd":
+        return FaultConfig(seed=seed, ssd_fault_rate=0.05)
+    if name == "degraded-ssd":
+        return FaultConfig(
+            seed=seed,
+            degraded_windows=(
+                DegradedWindow(start=60.0, duration=120.0, factor=0.2, period=600.0),
+            ),
+        )
+    if name == "chaos":
+        return FaultConfig(
+            seed=seed,
+            ssd_fault_rate=0.05,
+            pcie_fault_rate=0.01,
+            corruption_rate=0.02,
+            loss_rate=0.01,
+            degraded_windows=(
+                DegradedWindow(start=120.0, duration=90.0, factor=0.2, period=900.0),
+            ),
+            tier_loss_events=(TierLossEvent(at=900.0, tier="dram"),),
+        )
+    raise ValueError(f"unknown fault profile {name!r}; choose from {FAULT_PROFILES}")

@@ -6,11 +6,47 @@ time ``max(t, busy_until) + bytes / bandwidth`` and advances the channel's
 ``busy_until``.  This captures the queuing that makes concurrent prefetches
 and demand loads contend for the same SSD or PCIe bandwidth without
 simulating individual packets.
+
+Fault injection: a channel may carry a ``fault_hook`` (duck-typed to
+:class:`repro.faults.FaultInjector`) consulted on every transfer.  The hook
+can scale effective bandwidth (degradation episodes) or abort the transfer
+entirely, which raises :class:`FaultyTransfer` — the link time is still
+burned (the data moved but arrived bad), only delivery fails.  Channels
+without a hook behave exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
+
+
+class ChannelFaultHook(Protocol):
+    """What a channel consults to decide per-transfer fault outcomes."""
+
+    def transfer_fails(self, channel: str, now: float) -> bool:
+        """Whether the transfer starting at ``now`` fails transiently."""
+        ...
+
+    def bandwidth_factor(self, channel: str, now: float) -> float:
+        """Effective-bandwidth multiplier in (0, 1] at time ``now``."""
+        ...
+
+
+class FaultyTransfer(Exception):
+    """An injected fault aborted a channel transfer.
+
+    Attributes:
+        channel: name of the faulting channel.
+        busy_until: time the link was nonetheless occupied until (the
+            failed attempt burns the transfer duration; retries must start
+            at or after this point).
+    """
+
+    def __init__(self, channel: str, busy_until: float) -> None:
+        super().__init__(f"transfer on channel {channel!r} faulted")
+        self.channel = channel
+        self.busy_until = busy_until
 
 
 @dataclass
@@ -20,10 +56,12 @@ class Channel:
     Attributes:
         name: label for diagnostics ("pcie", "ssd", ...).
         bandwidth: bytes per second.
+        fault_hook: optional fault-injection hook (see module docstring).
     """
 
     name: str
     bandwidth: float
+    fault_hook: ChannelFaultHook | None = field(default=None, repr=False)
     _busy_until: float = field(default=0.0, init=False)
     _bytes_moved: int = field(default=0, init=False)
     _busy_time: float = field(default=0.0, init=False)
@@ -52,9 +90,23 @@ class Channel:
         return n_bytes / self.bandwidth
 
     def transfer(self, now: float, n_bytes: int) -> float:
-        """Enqueue a transfer at time ``now``; return its completion time."""
+        """Enqueue a transfer at time ``now``; return its completion time.
+
+        Raises:
+            FaultyTransfer: if the fault hook aborts the transfer.  The
+                link stays occupied for the attempt's full duration but no
+                bytes are delivered.
+        """
         start = max(now, self._busy_until)
-        length = self.duration(n_bytes)
+        if self.fault_hook is None:
+            length = self.duration(n_bytes)
+        else:
+            factor = self.fault_hook.bandwidth_factor(self.name, start)
+            length = self.duration(n_bytes) / factor
+            if self.fault_hook.transfer_fails(self.name, start):
+                self._busy_until = start + length
+                self._busy_time += length
+                raise FaultyTransfer(self.name, self._busy_until)
         self._busy_until = start + length
         self._bytes_moved += n_bytes
         self._busy_time += length

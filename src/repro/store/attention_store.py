@@ -11,7 +11,12 @@ Responsibilities (Section 3 of the paper):
   (scheduler-aware by default; LRU/FIFO baselines, Section 3.3.2);
 * expire items whose TTL since last access has lapsed (Section 4.3.6);
 * truncate stored caches on context-window overflow — only possible when
-  the KV was saved with positional encodings decoupled (Section 3.4).
+  the KV was saved with positional encodings decoupled (Section 3.4);
+* degrade gracefully under injected faults: items are validated at lookup
+  (corrupt caches are never served — ``MISS_CORRUPT`` triggers a recompute
+  fallback upstream), transient SSD failures are retried with capped
+  exponential backoff, and a circuit breaker bypasses a sick SSD entirely
+  (DRAM-only operation with recovery probes).
 
 Transfer *timing* is modelled via the SSD channel passed in; the engine
 owns PCIe timing for HBM loads.
@@ -23,7 +28,9 @@ from dataclasses import dataclass
 from enum import Enum
 
 from ..config import EvictionPolicyName, StoreConfig
-from ..sim.channel import Channel
+from ..faults import FaultInjector, TierHealth
+from ..sim.channel import Channel, FaultyTransfer
+from .block import OutOfBlocksError
 from .item import KVCacheItem, Tier
 from .policy import (
     EmptyQueueView,
@@ -44,6 +51,9 @@ class LookupStatus(str, Enum):
     HIT_DRAM = "hit-dram"
     HIT_DISK = "hit-disk"
     MISS = "miss"
+    #: The item was present but failed checksum validation (injected
+    #: corruption); it is dropped and must be recomputed, never served.
+    MISS_CORRUPT = "miss-corrupt"
 
 
 @dataclass(frozen=True)
@@ -57,12 +67,12 @@ class LookupResult:
 
     @property
     def hit(self) -> bool:
-        return self.status is not LookupStatus.MISS
+        return self.status not in (LookupStatus.MISS, LookupStatus.MISS_CORRUPT)
 
 
 @dataclass
 class StoreStats:
-    """Operational counters (evictions, expiries, prefetches)."""
+    """Operational counters (evictions, expiries, prefetches, faults)."""
 
     evicted_to_disk: int = 0
     evicted_out: int = 0
@@ -73,6 +83,15 @@ class StoreStats:
     truncations: int = 0
     saves: int = 0
     save_rejections: int = 0
+    # Fault/degradation counters (all zero unless fault injection is on):
+    transfer_faults: int = 0
+    transfer_retries: int = 0
+    corrupt_misses: int = 0
+    lost_items: int = 0
+    failed_saves: int = 0
+    fallback_recomputes: int = 0
+    breaker_trips: int = 0
+    breaker_recoveries: int = 0
 
 
 def make_policy(
@@ -99,6 +118,7 @@ class AttentionStore:
         config: StoreConfig,
         kv_bytes_per_token: int,
         ssd_channel: Channel | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         if kv_bytes_per_token <= 0:
             raise ValueError(
@@ -107,6 +127,13 @@ class AttentionStore:
         self.config = config
         self.kv_bytes_per_token = kv_bytes_per_token
         self.ssd = ssd_channel or Channel("ssd", bandwidth=4e9)
+        self.faults = fault_injector
+        self.ssd_health: TierHealth | None = None
+        if fault_injector is not None:
+            fc = fault_injector.config
+            self.ssd_health = TierHealth(fc.breaker_threshold, fc.breaker_cooldown)
+            if self.ssd.fault_hook is None:
+                self.ssd.fault_hook = fault_injector
         self.hbm_tier = StorageTier(Tier.HBM, config.hbm_cache_bytes, config.block_bytes)
         self.dram_tier = StorageTier(Tier.DRAM, config.dram_bytes, config.block_bytes)
         self.disk_tier = StorageTier(Tier.DISK, config.ssd_bytes, config.block_bytes)
@@ -173,6 +200,9 @@ class AttentionStore:
         """Check whether a resuming session's KV cache can be reused.
 
         Expired or invalidated items are dropped and reported as misses.
+        Items are validated before being served: a lost item is a plain
+        miss, a corrupt one (checksum mismatch) reports ``MISS_CORRUPT``
+        so the engine can account the recompute fallback separately.
         A hit refreshes the item's last-access time and LRU position.
         """
         item = self._items.get(session_id)
@@ -181,6 +211,14 @@ class AttentionStore:
         if not item.valid:
             self.drop(session_id)
             return LookupResult(LookupStatus.MISS)
+        if item.lost:
+            self.stats.lost_items += 1
+            self.drop(session_id)
+            return LookupResult(LookupStatus.MISS)
+        if item.corrupt:
+            self.stats.corrupt_misses += 1
+            self.drop(session_id)
+            return LookupResult(LookupStatus.MISS_CORRUPT)
         if item.expired(now, self.config.ttl_seconds):
             self.stats.expired += 1
             self.drop(session_id)
@@ -216,24 +254,42 @@ class AttentionStore:
 
         Evicts DRAM -> disk -> out as needed.  Returns the stored item, or
         None when the cache cannot fit anywhere (it is then simply not
-        retained — a store overflow).
+        retained — a store overflow).  When a *replacement* is rejected the
+        session's previous item is kept: the still-reusable turn N-1 prefix
+        must not be destroyed by a failed save of turn N.
         """
         if n_tokens <= 0:
             raise ValueError(f"n_tokens must be positive, got {n_tokens}")
-        if session_id in self._items:
-            # Replacing a session's item extends it by one turn; KV blocks
-            # already spilled to disk stay addressable for delta write-back
-            # (lazy reclamation), so the dirty state survives the replace.
-            written = self._disk_written_tokens.get(session_id, 0)
-            self.drop(session_id)
-            if written:
-                self._disk_written_tokens[session_id] = written
         n_bytes = self.item_bytes(n_tokens)
-        if n_bytes > self.dram_tier.capacity_bytes:
+        # Replacing a session's item extends it by one turn; KV blocks
+        # already spilled to disk stay addressable for delta write-back
+        # (lazy reclamation), so the dirty state survives the replace.  The
+        # old item is only *removed* here; it is restored if the
+        # replacement cannot be admitted.
+        old = self._items.pop(session_id, None)
+        old_written = self._disk_written_tokens.pop(session_id, 0)
+        old_tier = None
+        if old is not None:
+            old_tier = self._tier_of(old)
+            old_tier.remove(session_id)
+            self._total_item_bytes -= old.n_bytes
+
+        if n_bytes > self.dram_tier.capacity_bytes or not self._make_dram_space(
+            n_bytes, queue, now, pinned
+        ):
             self.stats.save_rejections += 1
-            return None
-        if not self._make_dram_space(n_bytes, queue, now, pinned):
-            self.stats.save_rejections += 1
+            if old is not None and old_tier is not None:
+                try:
+                    old_tier.admit(old)
+                except OutOfBlocksError:
+                    # The eviction cascade consumed the freed space; the
+                    # old item is genuinely unrecoverable.
+                    self.stats.evicted_out += 1
+                    return None
+                self._items[session_id] = old
+                self._total_item_bytes += old.n_bytes
+                if old_written:
+                    self._disk_written_tokens[session_id] = old_written
             return None
 
         item = KVCacheItem(
@@ -249,8 +305,23 @@ class AttentionStore:
         self.dram_tier.admit(item)
         self._items[session_id] = item
         self._total_item_bytes += n_bytes
+        if old_written:
+            # Clamped so the delta-write-back invariant
+            # ``disk_written_tokens <= n_tokens`` holds even if the
+            # replacement shrank the item.
+            self._disk_written_tokens[session_id] = min(old_written, n_tokens)
         self.stats.saves += 1
+        self._inject_save_faults(item)
         return item
+
+    def _inject_save_faults(self, item: KVCacheItem) -> None:
+        """Draw save-time corruption/loss decisions from the injector."""
+        if self.faults is None:
+            return
+        if self.faults.corrupts_save():
+            item.corrupt = True
+        if self.faults.loses_save():
+            item.lost = True
 
     def save_to_hbm_cache(
         self,
@@ -294,6 +365,7 @@ class AttentionStore:
         self._items[session_id] = item
         self._total_item_bytes += n_bytes
         self.stats.saves += 1
+        self._inject_save_faults(item)
         return item
 
     def _overflow_from_hbm(
@@ -428,7 +500,14 @@ class AttentionStore:
         already = self._disk_written_tokens.get(item.session_id, 0)
         delta_tokens = max(0, item.n_tokens - already)
         if delta_tokens:
-            self.ssd.transfer(now, self.item_bytes(delta_tokens))
+            done = self._ssd_transfer(now, self.item_bytes(delta_tokens))
+            if done is None:
+                # Spill failed (transient faults exhausted the retry
+                # budget, or the SSD breaker is open): undo the admission
+                # and let the caller degrade to dropping the victim.
+                self.disk_tier.remove(item.session_id)
+                self.dram_tier.admit(item)
+                return False
         self._disk_written_tokens[item.session_id] = item.n_tokens
         self.stats.evicted_to_disk += 1
         return True
@@ -438,6 +517,57 @@ class AttentionStore:
         self._tier_of(item).remove(item.session_id)
         del self._items[item.session_id]
         self._total_item_bytes -= item.n_bytes
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def ssd_available(self, now: float) -> bool:
+        """Whether the SSD tier is reachable (circuit breaker not open)."""
+        return self.ssd_health is None or self.ssd_health.allows(now)
+
+    def _ssd_transfer(self, now: float, n_bytes: int) -> float | None:
+        """Issue one SSD transfer, absorbing injected transient faults.
+
+        Retries with capped exponential backoff up to the configured
+        budget, feeding the SSD health breaker.  Returns the completion
+        time, or None when the transfer could not be completed (budget
+        exhausted or breaker open) — callers degrade instead of raising.
+        """
+        if self.faults is None:
+            return self.ssd.transfer(now, n_bytes)
+        if not self.ssd_available(now):
+            return None
+        fc = self.faults.config
+        health = self.ssd_health
+        start = now
+        attempt = 0
+        while True:
+            try:
+                done = self.ssd.transfer(start, n_bytes)
+            except FaultyTransfer as fault:
+                self.stats.transfer_faults += 1
+                if health is not None and health.record_failure(start):
+                    self.stats.breaker_trips += 1
+                    return None
+                if attempt >= fc.max_retries:
+                    return None
+                attempt += 1
+                self.stats.transfer_retries += 1
+                start = max(start, fault.busy_until) + fc.backoff(attempt)
+                continue
+            if health is not None and health.record_success():
+                self.stats.breaker_recoveries += 1
+            return done
+
+    def lose_tier(self, tier: Tier) -> int:
+        """Simulate a restart of one storage tier: every resident item is
+        gone (an in-flight fetch's DRAM copy included).  Returns how many
+        items were lost."""
+        victims = [item for item in self._items.values() if item.tier is tier]
+        for item in victims:
+            self._drop_item(item)
+        self.stats.lost_items += len(victims)
+        return len(victims)
 
     # ------------------------------------------------------------------
     # Prefetch
@@ -456,6 +586,9 @@ class AttentionStore:
         if not self.config.enable_prefetch or len(queue) == 0:
             return []
         if len(self.disk_tier) == 0:
+            return []
+        if not self.ssd_available(now):
+            # SSD breaker open: DRAM-only operation until a probe recovers.
             return []
 
         def residency(session_id: int) -> WindowEntry | None:
@@ -498,7 +631,13 @@ class AttentionStore:
                 continue
             self.disk_tier.remove(item.session_id)
             self.dram_tier.admit(item)
-            done = self.ssd.transfer(now, item.n_bytes)
+            done = self._ssd_transfer(now, item.n_bytes)
+            if done is None:
+                # Fetch failed: put the item back on disk; a later demand
+                # load (or the engine's recompute fallback) covers it.
+                self.dram_tier.remove(item.session_id)
+                self.disk_tier.admit(item)
+                continue
             item.fetch_in_flight = True
             item.dram_ready_at = done
             self.stats.prefetches += 1
@@ -526,3 +665,62 @@ class AttentionStore:
             self._drop_item(item)
         self.stats.expired += len(expired)
         return len(expired)
+
+    # ------------------------------------------------------------------
+    # Consistency checking
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert internal bookkeeping consistency (test/debug hook).
+
+        Verified invariants:
+
+        * the sum of resident item sizes equals ``total_item_bytes``;
+        * every item is resident in exactly the tier it records, and in no
+          other tier;
+        * per-tier used bytes never exceed capacity;
+        * delta-write-back state refers only to stored sessions and never
+          exceeds the item's token count.
+
+        Raises:
+            AssertionError: on any violation.
+        """
+        tiers = (self.hbm_tier, self.dram_tier, self.disk_tier)
+        total = 0
+        for session_id, item in self._items.items():
+            assert item.session_id == session_id, (
+                f"item keyed {session_id} claims session {item.session_id}"
+            )
+            home = self._tier_of(item)
+            assert home.get(session_id) is item, (
+                f"session {session_id} not resident in recorded tier "
+                f"{item.tier.value}"
+            )
+            for tier in tiers:
+                if tier is not home:
+                    assert session_id not in tier, (
+                        f"session {session_id} resident in both "
+                        f"{item.tier.value} and {tier.tier.value}"
+                    )
+            total += item.n_bytes
+        assert total == self._total_item_bytes, (
+            f"sum of item bytes {total} != total_item_bytes "
+            f"{self._total_item_bytes}"
+        )
+        for tier in tiers:
+            assert len(tier) == sum(
+                1 for item in self._items.values() if item.tier is tier.tier
+            ), f"tier {tier.tier.value} holds items the store does not track"
+            assert tier.used_bytes <= tier.capacity_bytes, (
+                f"tier {tier.tier.value} over capacity: "
+                f"{tier.used_bytes} > {tier.capacity_bytes}"
+            )
+        for session_id, written in self._disk_written_tokens.items():
+            assert written > 0, f"session {session_id} has zero dirty tokens"
+            item = self._items.get(session_id)
+            assert item is not None, (
+                f"dirty-token state for unknown session {session_id}"
+            )
+            assert written <= item.n_tokens, (
+                f"session {session_id}: disk_written_tokens {written} > "
+                f"n_tokens {item.n_tokens}"
+            )

@@ -37,6 +37,10 @@ class KVCacheItem:
             baseline whose caches are invalidated by truncation.
         valid: False once the cache can no longer be reused (embedded
             positions + truncation).
+        corrupt: set by fault injection at save time; discovered by
+            checksum validation at the next lookup (``MISS_CORRUPT``).
+        lost: set by fault injection at save time; the item silently
+            vanished and the next lookup is a plain miss.
         created_at / last_access: timestamps driving FIFO/LRU/TTL.
         dram_ready_at: if a fetch from disk is in flight, the simulated time
             at which the DRAM copy becomes usable.
@@ -49,6 +53,8 @@ class KVCacheItem:
     allocation: Allocation
     position_decoupled: bool = True
     valid: bool = True
+    corrupt: bool = False
+    lost: bool = False
     created_at: float = 0.0
     last_access: float = 0.0
     dram_ready_at: float = 0.0

@@ -1,0 +1,57 @@
+"""Determinism: same trace + same fault seed => identical results.
+
+Fault injection uses a dedicated seeded RNG, so repeated runs are exactly
+reproducible and never touch global random state.
+"""
+
+import dataclasses
+import random
+
+from repro.config import EngineConfig
+from repro.engine import ServingEngine
+from repro.faults import FaultConfig, fault_profile
+from repro.models import get_model
+from repro.workload import generate_trace
+
+
+def run(trace, fault_config):
+    engine = ServingEngine(
+        get_model("llama-13b"),
+        engine_config=EngineConfig(batch_size=8),
+        fault_config=fault_config,
+    )
+    result = engine.run(trace)
+    return engine, result
+
+
+def snapshot(engine, result):
+    return (
+        dataclasses.asdict(result.summary),
+        dataclasses.asdict(engine.store.stats),
+        engine.ssd.bytes_moved,
+        engine.pcie_h2d.bytes_moved,
+        engine.pcie_d2h.bytes_moved,
+        [(t.session_id, t.outcome, t.ttft) for t in engine.metrics.records],
+    )
+
+
+def test_same_seed_same_run():
+    trace = generate_trace(n_sessions=30, seed=23)
+    config = fault_profile("chaos", seed=11)
+    assert snapshot(*run(trace, config)) == snapshot(*run(trace, config))
+
+
+def test_different_fault_seeds_diverge():
+    trace = generate_trace(n_sessions=30, seed=23)
+    a = snapshot(*run(trace, fault_profile("chaos", seed=1)))
+    b = snapshot(*run(trace, fault_profile("chaos", seed=2)))
+    assert a != b
+
+
+def test_fault_injection_leaves_global_rng_alone():
+    random.seed(42)
+    expected = [random.random() for _ in range(5)]
+    random.seed(42)
+    trace = generate_trace(n_sessions=10, seed=23)
+    run(trace, FaultConfig(seed=7, ssd_fault_rate=0.1, corruption_rate=0.1))
+    assert [random.random() for _ in range(5)] == expected

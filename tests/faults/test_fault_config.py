@@ -1,0 +1,123 @@
+"""Tests for FaultConfig, DegradedWindow, TierLossEvent and the presets."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_PROFILES,
+    DegradedWindow,
+    FaultConfig,
+    TierLossEvent,
+    fault_profile,
+)
+
+
+class TestFaultConfigValidation:
+    def test_defaults_are_inert(self):
+        assert not FaultConfig().enabled
+
+    @pytest.mark.parametrize(
+        "attr",
+        ["ssd_fault_rate", "pcie_fault_rate", "corruption_rate", "loss_rate"],
+    )
+    def test_rates_must_be_probabilities(self, attr):
+        with pytest.raises(ValueError):
+            FaultConfig(**{attr: -0.1})
+        with pytest.raises(ValueError):
+            FaultConfig(**{attr: 1.5})
+
+    @pytest.mark.parametrize(
+        "attr",
+        ["ssd_fault_rate", "pcie_fault_rate", "corruption_rate", "loss_rate"],
+    )
+    def test_any_positive_rate_enables(self, attr):
+        assert FaultConfig(**{attr: 0.01}).enabled
+
+    def test_windows_and_loss_events_enable(self):
+        window = DegradedWindow(start=0.0, duration=1.0, factor=0.5)
+        assert FaultConfig(degraded_windows=(window,)).enabled
+        assert FaultConfig(tier_loss_events=(TierLossEvent(at=1.0),)).enabled
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            FaultConfig(max_retries=-1)
+
+    def test_breaker_knobs_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(breaker_threshold=0)
+        with pytest.raises(ValueError):
+            FaultConfig(breaker_cooldown=0.0)
+
+    def test_backoff_is_exponential_and_capped(self):
+        config = FaultConfig(retry_backoff=1e-3, retry_backoff_cap=3e-3)
+        assert config.backoff(1) == pytest.approx(1e-3)
+        assert config.backoff(2) == pytest.approx(2e-3)
+        assert config.backoff(3) == pytest.approx(3e-3)  # capped (would be 4e-3)
+        assert config.backoff(10) == pytest.approx(3e-3)
+        with pytest.raises(ValueError):
+            config.backoff(0)
+
+
+class TestDegradedWindow:
+    def test_one_shot_window(self):
+        window = DegradedWindow(start=10.0, duration=5.0, factor=0.2)
+        assert not window.active(9.9)
+        assert window.active(10.0)
+        assert window.active(14.9)
+        assert not window.active(15.0)
+        assert not window.active(100.0)
+
+    def test_periodic_window(self):
+        window = DegradedWindow(start=10.0, duration=5.0, factor=0.2, period=20.0)
+        assert window.active(12.0)
+        assert not window.active(18.0)
+        assert window.active(32.0)  # second period
+        assert not window.active(38.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DegradedWindow(start=-1.0, duration=1.0, factor=0.5)
+        with pytest.raises(ValueError):
+            DegradedWindow(start=0.0, duration=0.0, factor=0.5)
+        with pytest.raises(ValueError):
+            DegradedWindow(start=0.0, duration=1.0, factor=0.0)
+        with pytest.raises(ValueError):
+            DegradedWindow(start=0.0, duration=1.0, factor=1.5)
+        with pytest.raises(ValueError):
+            DegradedWindow(start=0.0, duration=5.0, factor=0.5, period=2.0)
+
+
+class TestTierLossEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TierLossEvent(at=-1.0)
+        with pytest.raises(ValueError):
+            TierLossEvent(at=0.0, tier="l2-cache")
+
+    def test_valid_tiers(self):
+        for tier in ("hbm", "dram", "disk"):
+            assert TierLossEvent(at=0.0, tier=tier).tier == tier
+
+
+class TestFaultProfiles:
+    def test_none_profile_is_none(self):
+        assert fault_profile("none") is None
+
+    @pytest.mark.parametrize("name", [p for p in FAULT_PROFILES if p != "none"])
+    def test_named_profiles_are_enabled(self, name):
+        config = fault_profile(name, seed=5)
+        assert config is not None
+        assert config.enabled
+        assert config.seed == 5
+
+    def test_chaos_covers_every_fault_class(self):
+        config = fault_profile("chaos")
+        assert config.ssd_fault_rate > 0
+        assert config.pcie_fault_rate > 0
+        assert config.corruption_rate > 0
+        assert config.loss_rate > 0
+        assert config.degraded_windows
+        assert config.tier_loss_events
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            fault_profile("evil-raid-controller")

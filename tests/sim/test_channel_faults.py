@@ -1,0 +1,65 @@
+"""Channel-level fault injection: FaultyTransfer and degradation windows."""
+
+import pytest
+
+from repro.faults import DegradedWindow, FaultConfig, FaultInjector
+from repro.sim import Channel, ChannelPair, FaultyTransfer
+
+
+class ScriptedHook:
+    """A fault hook whose failure decisions follow a fixed script."""
+
+    def __init__(self, failures, factor=1.0):
+        self._failures = list(failures)
+        self._factor = factor
+
+    def transfer_fails(self, channel, now):
+        return self._failures.pop(0) if self._failures else False
+
+    def bandwidth_factor(self, channel, now):
+        return self._factor
+
+
+class TestChannelFaults:
+    def test_no_hook_unchanged(self):
+        channel = Channel("ssd", bandwidth=1e9)
+        assert channel.transfer(0.0, 10**9) == pytest.approx(1.0)
+        assert channel.bytes_moved == 10**9
+
+    def test_faulty_transfer_burns_time_but_moves_no_bytes(self):
+        channel = Channel("ssd", bandwidth=1e9, fault_hook=ScriptedHook([True]))
+        with pytest.raises(FaultyTransfer) as excinfo:
+            channel.transfer(0.0, 10**9)
+        assert excinfo.value.channel == "ssd"
+        assert excinfo.value.busy_until == pytest.approx(1.0)
+        assert channel.busy_until == pytest.approx(1.0)
+        assert channel.bytes_moved == 0
+        assert channel.busy_time == pytest.approx(1.0)
+        # The next (clean) transfer queues behind the failed attempt.
+        assert channel.transfer(0.0, 10**9) == pytest.approx(2.0)
+        assert channel.bytes_moved == 10**9
+
+    def test_degradation_scales_duration(self):
+        channel = Channel("ssd", bandwidth=1e9, fault_hook=ScriptedHook([], factor=0.2))
+        assert channel.transfer(0.0, 10**9) == pytest.approx(5.0)
+
+    def test_degradation_window_via_injector(self):
+        config = FaultConfig(
+            degraded_windows=(
+                DegradedWindow(start=10.0, duration=10.0, factor=0.5, channel="ssd"),
+            )
+        )
+        channel = Channel("ssd", bandwidth=1e9, fault_hook=FaultInjector(config))
+        assert channel.transfer(0.0, 10**9) == pytest.approx(1.0)  # before window
+        assert channel.transfer(12.0, 10**9) == pytest.approx(14.0)  # inside: 2x
+        assert channel.transfer(30.0, 10**9) == pytest.approx(31.0)  # after
+
+    def test_channel_pair_propagates_first_hop_fault(self):
+        ssd = Channel("ssd", bandwidth=1e9, fault_hook=ScriptedHook([True]))
+        pcie = Channel("pcie-h2d", bandwidth=2e9)
+        pair = ChannelPair(ssd, pcie)
+        with pytest.raises(FaultyTransfer):
+            pair.transfer(0.0, 10**9)
+        # The second hop was never engaged.
+        assert pcie.busy_time == 0.0
+        assert pcie.bytes_moved == 0

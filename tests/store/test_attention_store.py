@@ -72,6 +72,49 @@ class TestSaveAndLookup:
         assert store.get(1).tier is Tier.DRAM
 
 
+class TestRejectedReplaceKeepsOldItem:
+    """Regression: a rejected replacement save must not destroy the
+    session's previous (still reusable) cached prefix."""
+
+    def test_oversized_replacement_keeps_previous_item(self):
+        store = make_store(dram_items=4, item_tokens=10)
+        store.save(1, 10, now=0.0)
+        assert store.save(1, 50, now=1.0) is None  # 50 tokens > 40-token DRAM
+        assert store.stats.save_rejections == 1
+        result = store.lookup(1, 2.0)
+        assert result.status is LookupStatus.HIT_DRAM
+        assert result.n_tokens == 10
+        store.check_invariants()
+
+    def test_pinned_eviction_failure_keeps_previous_item(self):
+        store = make_store(dram_items=2)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        # Growing session 1 to 20 tokens needs session 2's space, but 2 is
+        # pinned: the save is rejected and 1's old item must survive.
+        assert store.save(1, 20, now=2.0, pinned=frozenset({2})) is None
+        assert store.lookup(1, 3.0).n_tokens == 10
+        assert store.get(2).tier is Tier.DRAM
+        store.check_invariants()
+
+    def test_rejected_replacement_preserves_disk_dirty_state(self):
+        store = make_store(dram_items=2, disk_items=20)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        store.save(3, 10, now=2.0)  # spills 1 to disk (10 tokens written)
+        assert store.ssd.bytes_moved == 10 * KB
+        store.save(1, 12, now=3.0)  # promote-by-replace back into DRAM
+        assert store.save(1, 50, now=4.0) is None  # oversized: rejected
+        assert store.lookup(1, 5.0).n_tokens == 12
+        # Delta write-back bookkeeping survived the failed replace: a
+        # re-spill of session 1 writes only the 2 new tokens.
+        before = store.ssd.bytes_moved
+        store.save(4, 10, now=6.0)
+        store.save(5, 10, now=7.0)
+        assert store.ssd.bytes_moved - before <= 12 * KB
+        store.check_invariants()
+
+
 class TestEvictionCascade:
     def test_dram_overflow_demotes_to_disk(self):
         store = make_store(dram_items=2)

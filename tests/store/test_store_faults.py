@@ -1,0 +1,213 @@
+"""Store-level fault handling: validation at lookup, SSD retries, breaker,
+tier loss.  Corrupt or lost items must never be served."""
+
+import pytest
+
+from repro.config import StoreConfig
+from repro.faults import FaultConfig, FaultInjector
+from repro.sim import Channel
+from repro.store import AttentionStore, ListQueueView, LookupStatus, Tier
+
+KB = 1000
+
+
+def make_faulty_store(
+    fault_config: FaultConfig,
+    dram_items=4,
+    disk_items=16,
+    item_tokens=10,
+    injector_cls=FaultInjector,
+):
+    item_bytes = item_tokens * KB
+    config = StoreConfig(
+        dram_bytes=dram_items * item_bytes,
+        ssd_bytes=disk_items * item_bytes,
+        block_bytes=KB,
+        dram_buffer_fraction=0.0,
+    )
+    injector = injector_cls(fault_config)
+    store = AttentionStore(
+        config, KB, Channel("ssd", 1e9), fault_injector=injector
+    )
+    return store, injector
+
+
+class ScriptedInjector(FaultInjector):
+    """A FaultInjector whose transfer failures follow a fixed script."""
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.script: list[bool] = []
+
+    def transfer_fails(self, channel, now):
+        return self.script.pop(0) if self.script else False
+
+
+class TestCorruptionAndLoss:
+    def test_corrupt_item_is_miss_corrupt_and_never_served(self):
+        store, _ = make_faulty_store(FaultConfig(corruption_rate=1.0))
+        store.save(1, 10, now=0.0)
+        assert store.get(1).corrupt
+        result = store.lookup(1, 1.0)
+        assert result.status is LookupStatus.MISS_CORRUPT
+        assert not result.hit
+        assert store.stats.corrupt_misses == 1
+        assert 1 not in store  # dropped, not retried
+        assert store.lookup(1, 2.0).status is LookupStatus.MISS
+
+    def test_lost_item_is_plain_miss(self):
+        store, _ = make_faulty_store(FaultConfig(loss_rate=1.0))
+        store.save(1, 10, now=0.0)
+        result = store.lookup(1, 1.0)
+        assert result.status is LookupStatus.MISS
+        assert store.stats.lost_items == 1
+        assert 1 not in store
+
+    def test_zero_rates_leave_items_clean(self):
+        store, _ = make_faulty_store(FaultConfig(ssd_fault_rate=0.5))
+        store.save(1, 10, now=0.0)
+        item = store.get(1)
+        assert not item.corrupt and not item.lost
+        assert store.lookup(1, 1.0).hit
+
+
+class TestSsdRetries:
+    def test_transient_demotion_fault_is_retried(self):
+        store, injector = make_faulty_store(
+            FaultConfig(max_retries=3, ssd_fault_rate=0.5),
+            dram_items=1,
+            injector_cls=ScriptedInjector,
+        )
+        injector.script = [True, False]  # first attempt fails, retry succeeds
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)  # forces demotion of session 1 to disk
+        assert store.get(1).tier is Tier.DISK
+        assert store.stats.transfer_faults == 1
+        assert store.stats.transfer_retries == 1
+        assert store.stats.evicted_to_disk == 1
+        assert store.stats.evicted_out == 0
+
+    def test_retry_budget_exhaustion_degrades_to_drop(self):
+        store, injector = make_faulty_store(
+            FaultConfig(max_retries=1, ssd_fault_rate=0.5, breaker_threshold=50),
+            dram_items=1,
+            injector_cls=ScriptedInjector,
+        )
+        injector.script = [True, True]  # attempt + single retry both fail
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        assert 1 not in store  # victim dropped out instead of demoted
+        assert store.get(2).tier is Tier.DRAM
+        assert store.stats.evicted_out == 1
+        assert store.stats.evicted_to_disk == 0
+        assert store.stats.transfer_faults == 2
+        assert store.stats.transfer_retries == 1
+
+    def test_failed_retries_still_burn_ssd_link_time(self):
+        store, injector = make_faulty_store(
+            FaultConfig(max_retries=2, ssd_fault_rate=0.5),
+            dram_items=1,
+            injector_cls=ScriptedInjector,
+        )
+        injector.script = [True, False]
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        # Two attempts of 10 KB at 1 GB/s each occupy the link.
+        assert store.ssd.busy_time == pytest.approx(2 * 10 * KB / 1e9)
+
+
+class TestBreaker:
+    def test_repeated_failures_trip_breaker_and_bypass_ssd(self):
+        store, injector = make_faulty_store(
+            FaultConfig(
+                max_retries=0,
+                ssd_fault_rate=0.5,
+                breaker_threshold=2,
+                breaker_cooldown=30.0,
+            ),
+            dram_items=1,
+            injector_cls=ScriptedInjector,
+        )
+        injector.script = [True] * 10
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)  # failure 1: victim dropped
+        store.save(3, 10, now=2.0)  # failure 2: trips the breaker
+        assert store.stats.breaker_trips == 1
+        assert not store.ssd_available(3.0)
+        # With the breaker open, evictions bypass the SSD without burning
+        # fault draws: DRAM-only operation.
+        script_len = len(injector.script)
+        store.save(4, 10, now=3.0)
+        assert len(injector.script) == script_len  # no transfer attempted
+        assert store.stats.evicted_out == 3
+        assert store.stats.evicted_to_disk == 0
+
+    def test_breaker_recovery_probe(self):
+        store, injector = make_faulty_store(
+            FaultConfig(
+                max_retries=0,
+                ssd_fault_rate=0.5,
+                breaker_threshold=1,
+                breaker_cooldown=10.0,
+            ),
+            dram_items=1,
+            injector_cls=ScriptedInjector,
+        )
+        injector.script = [True]  # only the first transfer fails
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)  # trips immediately (threshold 1)
+        assert store.stats.breaker_trips == 1
+        assert not store.ssd_available(5.0)
+        # Cooldown elapsed: the next demotion is a recovery probe and
+        # succeeds, closing the breaker.
+        store.save(3, 10, now=12.0)
+        assert store.stats.breaker_recoveries == 1
+        assert store.stats.evicted_to_disk == 1
+        assert store.ssd_available(12.0)
+
+    def test_open_breaker_disables_prefetch(self):
+        store, injector = make_faulty_store(
+            FaultConfig(
+                max_retries=0,
+                ssd_fault_rate=0.5,
+                breaker_threshold=1,
+                breaker_cooldown=1000.0,
+            ),
+            dram_items=2,
+            injector_cls=ScriptedInjector,
+        )
+        # Get an item onto disk cleanly, then trip the breaker.
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        store.save(3, 10, now=2.0)  # demotes session 1 to disk (clean)
+        assert store.get(1).tier is Tier.DISK
+        injector.script = [True]
+        store.save(4, 10, now=3.0)  # fault trips the breaker
+        assert store.stats.breaker_trips == 1
+        assert store.prefetch(ListQueueView([1]), now=4.0) == []
+        assert store.get(1).tier is Tier.DISK
+
+
+class TestTierLoss:
+    def test_lose_dram_drops_only_dram_items(self):
+        store, _ = make_faulty_store(FaultConfig(ssd_fault_rate=0.0), dram_items=2)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        store.save(3, 10, now=2.0)  # demotes 1 to disk
+        assert store.get(1).tier is Tier.DISK
+        lost = store.lose_tier(Tier.DRAM)
+        assert lost == 2
+        assert store.stats.lost_items == 2
+        assert 2 not in store and 3 not in store
+        assert store.get(1).tier is Tier.DISK  # disk survives a DRAM wipe
+        store.check_invariants()
+
+    def test_lose_disk(self):
+        store, _ = make_faulty_store(FaultConfig(), dram_items=2)
+        store.save(1, 10, now=0.0)
+        store.save(2, 10, now=1.0)
+        store.save(3, 10, now=2.0)
+        assert store.lose_tier(Tier.DISK) == 1
+        assert 1 not in store
+        assert len(store) == 2
+        store.check_invariants()

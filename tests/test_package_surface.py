@@ -8,6 +8,7 @@ PACKAGES = [
     "repro",
     "repro.analysis",
     "repro.engine",
+    "repro.faults",
     "repro.hardware",
     "repro.model",
     "repro.sim",
