@@ -1,0 +1,150 @@
+"""Extension: multi-instance cluster serving with cache-aware routing.
+
+Scales the Fig-13 workload to 4x the arrival rate and 4x the sessions and
+serves it on a 4-replica cluster (each replica a full paper testbed with a
+quarter of the AttentionStore capacity), comparing session routers against
+a single instance serving the 1x workload:
+
+* **affinity** (cache-aware) — near-linear scaling: aggregate prefill
+  throughput >= 3x the single instance, with the cache hit rate preserved
+  (within 5 points) because sessions return to the replica holding their
+  KV;
+* **round-robin / least-loaded** — the same hardware loses most of its hit
+  rate, because partitioned stores make locality-oblivious routing scatter
+  turns away from their cached history.
+"""
+
+from _shared import N_SESSIONS, once
+
+from repro.analysis import format_table, percent
+from repro.cluster import ClusterConfig, ClusterEngine, RouterName
+from repro.config import EngineConfig, HardwareConfig, StoreConfig
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.workload import WorkloadSpec, generate_trace
+
+MODEL_NAME = "llama-13b"
+N_INSTANCES = 4
+SINGLE_SESSIONS = min(N_SESSIONS, 700)
+BASE_RATE = 1.0
+
+
+def single_trace():
+    return generate_trace(
+        WorkloadSpec(n_sessions=SINGLE_SESSIONS, arrival_rate=BASE_RATE, seed=42)
+    )
+
+
+def cluster_trace():
+    """The single-instance workload scaled 4x in rate *and* volume."""
+    return generate_trace(
+        WorkloadSpec(
+            n_sessions=N_INSTANCES * SINGLE_SESSIONS,
+            arrival_rate=N_INSTANCES * BASE_RATE,
+            seed=42,
+        )
+    )
+
+
+def aggregate_throughput(summary) -> float:
+    """Prompt tokens per wall-clock second (scales with replica count)."""
+    if summary.makespan <= 0:
+        return 0.0
+    return summary.prompt_tokens_total / summary.makespan
+
+
+def run_single():
+    model = get_model(MODEL_NAME)
+    engine = ServingEngine(
+        model,
+        hardware=HardwareConfig().for_model(model),
+        engine_config=EngineConfig(batch_size=model.default_batch_size),
+        store_config=StoreConfig(),
+    )
+    return engine.run(single_trace())
+
+
+def run_cluster(router: RouterName):
+    model = get_model(MODEL_NAME)
+    engine = ClusterEngine(
+        model,
+        cluster=ClusterConfig(n_instances=N_INSTANCES, router=router),
+        hardware=HardwareConfig().for_model(model),
+        engine_config=EngineConfig(batch_size=model.default_batch_size),
+        store_config=StoreConfig(),
+    )
+    return engine.run(cluster_trace())
+
+
+def run_all():
+    single = run_single()
+    clusters = {router: run_cluster(router) for router in RouterName}
+    return single, clusters
+
+
+def test_ext_cluster_scaling(benchmark):
+    single, clusters = once(benchmark, run_all)
+    single_tput = aggregate_throughput(single.summary)
+
+    print()
+    rows = [
+        [
+            "1x single",
+            f"{single.summary.n_turns}",
+            percent(single.summary.hit_rate),
+            f"{single.summary.mean_ttft * 1e3:.1f}",
+            f"{single_tput:,.0f}",
+            "1.00x",
+            "-",
+            "-",
+        ]
+    ]
+    for router, result in clusters.items():
+        rows.append(
+            [
+                f"4x {router.value}",
+                f"{result.summary.n_turns}",
+                percent(result.hit_rate),
+                f"{result.summary.mean_ttft * 1e3:.1f}",
+                f"{result.aggregate_prefill_throughput:,.0f}",
+                f"{result.aggregate_prefill_throughput / single_tput:.2f}x",
+                f"{result.migrations}",
+                f"{result.scatter_drops}",
+            ]
+        )
+    print(
+        format_table(
+            ["config", "turns", "hit rate", "mean TTFT (ms)",
+             "agg tok/s", "scaling", "migrations", "stale drops"],
+            rows,
+            title=(
+                "Extension — 4-replica cluster vs single instance "
+                f"({MODEL_NAME}, {N_INSTANCES}x rate and volume)"
+            ),
+        )
+    )
+
+    affinity = clusters[RouterName.AFFINITY]
+    rr = clusters[RouterName.ROUND_ROBIN]
+
+    # Every turn of the 4x workload is served exactly once, whatever the
+    # router.
+    expected_turns = cluster_trace().n_turns_total
+    for result in clusters.values():
+        assert result.summary.n_turns == expected_turns
+
+    # Near-linear scaling under cache-aware routing: >= 3x the single
+    # instance's aggregate prefill throughput on 4x the hardware.
+    assert affinity.aggregate_prefill_throughput >= 3.0 * single_tput
+
+    # Affinity preserves the hit rate across the scale-out (within 5
+    # points of the single instance over an un-partitioned store).
+    assert affinity.hit_rate >= single.summary.hit_rate - 0.05
+
+    # Locality-oblivious scatter over partitioned stores destroys it.
+    assert rr.hit_rate < affinity.hit_rate - 0.2
+    assert rr.scatter_drops > 0
+    assert clusters[RouterName.LEAST_LOADED].hit_rate < affinity.hit_rate - 0.2
+
+    # And the hit-rate gap shows up where it matters: TTFT.
+    assert affinity.summary.mean_ttft < rr.summary.mean_ttft

@@ -13,6 +13,7 @@ Examples::
     python -m repro.cli workload --sessions 500 --out trace.json
     python -m repro.cli run --trace trace.json --model llama-13b
     python -m repro.cli run --sessions 300 --fault-profile chaos
+    python -m repro.cli run --sessions 300 --instances 4 --router affinity
     python -m repro.cli compare --sessions 300 --model llama-13b
     python -m repro.cli capacity --sessions 500 --model llama-13b --ttl 3600
 """
@@ -30,6 +31,7 @@ from .analysis import (
     percent,
     run_cost,
 )
+from .cluster import ClusterConfig, ClusterEngine, ClusterResult, RouterName
 from .config import (
     EngineConfig,
     EvictionPolicyName,
@@ -81,6 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="serve a trace")
     add_serving_args(run)
     run.add_argument("--mode", default="ca", choices=["ca", "re"])
+    run.add_argument(
+        "--instances",
+        type=int,
+        default=1,
+        help="serving-engine replicas (>1 enables cluster serving)",
+    )
+    run.add_argument(
+        "--router",
+        default="affinity",
+        choices=[r.value for r in RouterName],
+        help="cluster session router (with --instances > 1)",
+    )
     run.add_argument(
         "--fault-profile",
         default="none",
@@ -142,6 +156,55 @@ def _build_engine(args: argparse.Namespace, mode: ServingMode) -> ServingEngine:
     )
 
 
+def _build_cluster(args: argparse.Namespace, mode: ServingMode) -> ClusterEngine:
+    model = get_model(args.model)
+    batch = args.batch_size or model.default_batch_size
+    if mode is ServingMode.RECOMPUTE:
+        engine_config = EngineConfig.recompute_baseline(batch_size=batch)
+        store_config = None
+    else:
+        engine_config = EngineConfig(
+            batch_size=batch,
+            enable_preload=not args.no_preload,
+            enable_async_save=not args.sync_save,
+        )
+        store_config = StoreConfig(
+            dram_bytes=int(args.dram_gb * GiB),
+            ssd_bytes=int(args.ssd_gb * GiB),
+            policy=EvictionPolicyName(args.policy),
+            enable_prefetch=not args.no_prefetch,
+        )
+    fault_config = fault_profile(
+        getattr(args, "fault_profile", "none"), seed=getattr(args, "fault_seed", 0)
+    )
+    return ClusterEngine(
+        model,
+        cluster=ClusterConfig(
+            n_instances=args.instances, router=RouterName(args.router)
+        ),
+        hardware=HardwareConfig().for_model(model),
+        engine_config=engine_config,
+        store_config=store_config,
+        warmup_turns=args.warmup_turns,
+        fault_config=fault_config,
+    )
+
+
+def _cluster_rows(result: ClusterResult) -> list[list[str]]:
+    s = result.summary
+    return [
+        ["turns served", str(s.n_turns)],
+        ["cache hit rate", percent(s.hit_rate)],
+        ["mean TTFT (s)", f"{s.mean_ttft:.4f}"],
+        ["p95 TTFT (s)", f"{s.p95_ttft:.4f}"],
+        ["aggregate throughput (tok/s)", f"{result.aggregate_prefill_throughput:,.0f}"],
+        ["KV migrations", str(result.migrations)],
+        ["stale-copy drops", str(result.scatter_drops)],
+        ["network traffic (GiB)", f"{result.net_bytes / GiB:.1f}"],
+        ["makespan (h)", f"{s.makespan / 3600:.3f}"],
+    ]
+
+
 def _summary_rows(result: RunResult) -> list[list[str]]:
     s = result.summary
     return [
@@ -175,6 +238,19 @@ def cmd_workload(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     mode = ServingMode.CACHED if args.mode == "ca" else ServingMode.RECOMPUTE
     trace = _load_trace(args)
+    if args.instances > 1:
+        cluster_result = _build_cluster(args, mode).run(trace)
+        print(
+            format_table(
+                ["metric", "value"],
+                _cluster_rows(cluster_result),
+                title=(
+                    f"{args.model} [{mode.value}] x{args.instances} "
+                    f"({args.router}) on {len(trace)} sessions"
+                ),
+            )
+        )
+        return 0
     engine = _build_engine(args, mode)
     result = engine.run(trace)
     print(

@@ -1,0 +1,31 @@
+"""Multi-instance cluster serving with cache-aware session routing.
+
+Runs N serving-engine replicas — each with private GPUs, PCIe links and an
+AttentionStore partition — on one shared discrete-event simulator behind a
+pluggable router.  The affinity router keeps sessions on the replica that
+holds their KV cache, migrating caches over a modelled inter-host network
+only when load forces a spill; round-robin and least-loaded routers are the
+locality-oblivious baselines it is measured against.
+"""
+
+from .config import ClusterConfig, RouterName
+from .engine import ClusterEngine, ClusterResult
+from .router import (
+    AffinityRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+
+__all__ = [
+    "AffinityRouter",
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterResult",
+    "LeastLoadedRouter",
+    "RoundRobinRouter",
+    "Router",
+    "RouterName",
+    "make_router",
+]

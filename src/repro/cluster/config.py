@@ -1,0 +1,67 @@
+"""Configuration for multi-instance cluster serving.
+
+A cluster runs N serving-engine replicas (each a full multi-GPU host with
+its own PCIe links and AttentionStore partition) behind a session router.
+:class:`ClusterConfig` sizes the cluster and names the routing policy;
+:class:`RouterName` enumerates the available routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RouterName(str, Enum):
+    """Session-routing policies for a serving cluster.
+
+    * ``ROUND_ROBIN`` — scatter every request over the replicas in turn,
+      ignoring both load and cache placement (the locality-oblivious
+      baseline: over partitioned stores it destroys the hit rate).
+    * ``LEAST_LOADED`` — send each request to the replica with the fewest
+      queued + admitted tokens, ignoring cache placement.
+    * ``AFFINITY`` — cache-aware routing: send a session back to the
+      replica whose AttentionStore holds its KV, spilling to the least
+      loaded replica (with KV migration over the inter-host network) only
+      when the home replica is overloaded.
+    """
+
+    ROUND_ROBIN = "rr"
+    LEAST_LOADED = "least-loaded"
+    AFFINITY = "affinity"
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Sizing and routing knobs for a serving cluster.
+
+    ``net_bandwidth`` models the effective inter-host link used for KV
+    migrations (default ~100 Gb Ethernet).  ``affinity_spill_tokens`` is
+    the load imbalance — home-replica load minus minimum replica load, in
+    tokens — above which the affinity router gives up locality and spills
+    a session to the least-loaded replica.  ``partition_store`` divides
+    the configured DRAM/SSD store capacity evenly across replicas (each
+    host owns a private shard, as in a real deployment); when False every
+    replica gets the full configured capacity.
+    """
+
+    n_instances: int = 1
+    router: RouterName = RouterName.AFFINITY
+    net_bandwidth: float = 12.5e9
+    affinity_spill_tokens: int = 16384
+    partition_store: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_instances <= 0:
+            raise ValueError(
+                f"n_instances must be positive, got {self.n_instances}"
+            )
+        if self.net_bandwidth <= 0:
+            raise ValueError(
+                f"net_bandwidth must be positive, got {self.net_bandwidth}"
+            )
+        if self.affinity_spill_tokens < 0:
+            raise ValueError(
+                "affinity_spill_tokens must be >= 0, got "
+                f"{self.affinity_spill_tokens}"
+            )

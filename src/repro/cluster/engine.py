@@ -1,0 +1,253 @@
+"""Multi-instance cluster serving on one shared discrete-event simulator.
+
+A :class:`ClusterEngine` runs N :class:`~repro.engine.ServingEngine`
+replicas — each a full multi-GPU host with its own PCIe links, SSD and
+AttentionStore partition — against a single simulated clock, fronted by a
+pluggable session router.  Sessions arrive at the cluster, not a replica:
+the router picks a replica per turn, and when it moves a returning session
+away from the replica holding its KV cache the cluster either migrates the
+cache over a modelled inter-host network link (affinity routing) or drops
+the now-stale copy (locality-oblivious routers), preserving the invariant
+that a session's KV lives in at most one store.
+
+With ``n_instances=1`` every router degenerates to "route everything to
+replica 0" and the cluster reproduces a standalone engine bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..config import EngineConfig, HardwareConfig, ServingMode, StoreConfig
+from ..engine.engine import RunResult, ServingEngine, TurnCounter
+from ..engine.metrics import MetricsCollector, RunSummary
+from ..engine.session import SessionState
+from ..faults import FaultConfig
+from ..models import ModelSpec
+from ..sim.channel import Channel, ChannelPair, FaultyTransfer
+from ..sim.loop import Simulator
+from ..store.item import Tier
+from ..workload.trace import Conversation, Trace
+from .config import ClusterConfig, RouterName
+from .router import make_router
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Aggregate outcome of one cluster serving run.
+
+    ``summary`` pools every replica's per-turn records into one
+    cluster-level :class:`~repro.engine.RunSummary`; ``replicas`` keeps
+    the per-replica results for imbalance analysis.
+    """
+
+    summary: RunSummary
+    replicas: tuple[RunResult, ...]
+    router: RouterName
+    n_instances: int
+    #: KV caches moved between replicas (affinity spills).
+    migrations: int
+    migrated_bytes: int
+    #: Stale KV copies dropped on a locality-oblivious reroute.
+    scatter_drops: int
+    #: Bytes carried by the inter-host network link.
+    net_bytes: int
+    events_processed: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Cluster-wide AttentionStore hit rate over lookups."""
+        return self.summary.hit_rate
+
+    @property
+    def aggregate_prefill_throughput(self) -> float:
+        """Prompt tokens served per *wall-clock* second across the cluster.
+
+        Unlike :attr:`RunSummary.prefill_throughput` (tokens per GPU-busy
+        second, a per-device efficiency figure), this scales with replica
+        count and is the scaling metric of the cluster experiment.
+        """
+        if self.summary.makespan <= 0:
+            return 0.0
+        return self.summary.prompt_tokens_total / self.summary.makespan
+
+
+class ClusterEngine:
+    """N serving-engine replicas behind a session router, one event loop."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cluster: ClusterConfig | None = None,
+        hardware: HardwareConfig | None = None,
+        engine_config: EngineConfig | None = None,
+        store_config: StoreConfig | None = None,
+        warmup_turns: int = 0,
+        fault_config: FaultConfig | None = None,
+    ) -> None:
+        self.cluster = cluster or ClusterConfig()
+        n = self.cluster.n_instances
+        self.model = model
+        hardware = hardware or HardwareConfig().for_model(model)
+        engine_config = engine_config or EngineConfig(
+            batch_size=model.default_batch_size
+        )
+        if engine_config.mode is ServingMode.CACHED:
+            base_store: StoreConfig | None = store_config or StoreConfig()
+        else:
+            base_store = None
+
+        self.sim = Simulator()
+        self.turn_counter = TurnCounter()
+        # One shared inter-host link: concurrent migrations contend on it.
+        self.net = Channel("cluster-net", self.cluster.net_bandwidth)
+        self.engines: list[ServingEngine] = []
+        for i in range(n):
+            replica_faults = fault_config
+            if fault_config is not None and n > 1:
+                # Independent fault streams per host, still deterministic.
+                replica_faults = replace(fault_config, seed=fault_config.seed + i)
+            self.engines.append(
+                ServingEngine(
+                    model,
+                    hardware=hardware,
+                    engine_config=engine_config,
+                    store_config=self._partition_store(base_store, n),
+                    warmup_turns=warmup_turns,
+                    fault_config=replica_faults,
+                    sim=self.sim,
+                    pcie_h2d=Channel(f"pcie-h2d-{i}", hardware.pcie_bandwidth),
+                    pcie_d2h=Channel(f"pcie-d2h-{i}", hardware.pcie_bandwidth),
+                    ssd=Channel("ssd", hardware.ssd_bandwidth),
+                    turn_counter=self.turn_counter,
+                    name=f"replica-{i}",
+                )
+            )
+        for engine in self.engines:
+            engine.next_turn_hook = self._route_next_turn
+        self.router = make_router(
+            self.cluster.router,
+            self.engines,
+            spill_tokens=self.cluster.affinity_spill_tokens,
+        )
+        # Which replica served each session's previous turn — the
+        # affinity router's cache-placement oracle (KV lives in at most
+        # one store, and always the home replica's).
+        self._home: dict[int, int] = {}
+
+    def _partition_store(
+        self, base: StoreConfig | None, n_instances: int
+    ) -> StoreConfig | None:
+        """Shard the store capacity evenly across replicas."""
+        if base is None or n_instances == 1 or not self.cluster.partition_store:
+            return base
+        return replace(
+            base,
+            dram_bytes=base.dram_bytes // n_instances,
+            ssd_bytes=base.ssd_bytes // n_instances,
+            hbm_cache_bytes=base.hbm_cache_bytes // n_instances,
+        )
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace) -> ClusterResult:
+        """Replay ``trace`` against the cluster and return pooled results."""
+        self.schedule_trace(trace)
+        self.sim.run()
+        return self.result()
+
+    def schedule_trace(self, trace: Trace) -> None:
+        """Schedule every session arrival (routing happens at arrival time,
+        so load-based routers see the loads of the moment, not of time 0)."""
+        if len(trace) == 0:
+            raise ValueError("cannot run an empty trace")
+        for conv in trace:
+            self.sim.at(conv.arrival_time, self._arrival_starter(conv))
+        for engine in self.engines:
+            engine.schedule_maintenance()
+
+    def result(self) -> ClusterResult:
+        """Aggregate per-replica and cluster-level results after the run."""
+        replicas = tuple(engine.result() for engine in self.engines)
+        merged = MetricsCollector.merged([e.metrics for e in self.engines])
+        store_stats = [r.store_stats for r in replicas if r.store_stats is not None]
+        return ClusterResult(
+            summary=merged.summarise(),
+            replicas=replicas,
+            router=self.cluster.router,
+            n_instances=self.cluster.n_instances,
+            migrations=sum(s.migrations_in for s in store_stats),
+            migrated_bytes=sum(s.migrated_bytes_out for s in store_stats),
+            scatter_drops=sum(s.scatter_drops for s in store_stats),
+            net_bytes=self.net.bytes_moved,
+            events_processed=self.sim.events_processed,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _arrival_starter(self, conv: Conversation):
+        def start() -> None:
+            index = self.router.route(conv.session_id, None)
+            self._home[conv.session_id] = index
+            self.engines[index].start_session(conv)
+
+        return start
+
+    def _route_next_turn(self, source: ServingEngine, session: SessionState) -> None:
+        """Route one returning session (installed as every replica's
+        ``next_turn_hook``, firing when the user's think time elapses)."""
+        session_id = session.session_id
+        home = self._home[session_id]
+        target_index = self.router.route(session_id, home)
+        if target_index == home:
+            source.submit_next_turn(session)
+            return
+        target = self.engines[target_index]
+        self._home[session_id] = target_index
+        target.adopt_session(source.release_session(session_id))
+        self._move_kv(source, target, session_id)
+        target.submit_next_turn(session)
+
+    def _move_kv(
+        self, source: ServingEngine, target: ServingEngine, session_id: int
+    ) -> None:
+        """Reconcile KV placement after a session changed replicas.
+
+        Affinity spills migrate the cache over the inter-host link (disk
+        items are staged through the source SSD first); oblivious routers
+        drop the stale copy instead — a truncation on the new replica
+        would silently invalidate any remote leftover, so at most one
+        store may ever hold a session's KV.
+        """
+        if source.store is None or target.store is None:
+            return
+        if self.router.name is not RouterName.AFFINITY:
+            if source.store.get(session_id) is not None:
+                source.store.drop(session_id)
+                source.store.stats.scatter_drops += 1
+            return
+        item = source.store.extract(session_id)
+        if item is None:
+            return
+        now = self.sim.now
+        link: Channel | ChannelPair = self.net
+        if item.tier is Tier.DISK:
+            link = ChannelPair(source.ssd, self.net)
+        try:
+            done = link.transfer(now, item.n_bytes)
+        except FaultyTransfer:
+            # The migrating copy is lost in transit; the next turn
+            # recomputes its history at the target (graceful degradation).
+            source.store.stats.transfer_faults += 1
+            return
+        target.store.admit_migrated(
+            session_id,
+            item.n_tokens,
+            now,
+            ready_at=done,
+            position_decoupled=item.position_decoupled,
+            queue=target.queue,
+            pinned=target.active_sessions,
+        )

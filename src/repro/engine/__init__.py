@@ -1,11 +1,12 @@
 """The LLM serving engine: RE baseline and CachedAttention (CA)."""
 
 from .batching import ActiveJob, BatchState
-from .engine import RunResult, ServingEngine
+from .engine import RunResult, ServingEngine, TurnCounter
 from .metrics import MetricsCollector, RunSummary, TurnOutcome, TurnRecord
 from .overlap import (
     async_save_blocking_time,
     layerwise_prefill_time,
+    layerwise_prefill_time_reference,
     no_preload_prefill_time,
     perfect_overlap_buffer_layers,
     preload_speedup,
@@ -26,6 +27,7 @@ __all__ = [
     "ServingEngine",
     "SessionState",
     "TruncationOutcome",
+    "TurnCounter",
     "TurnOutcome",
     "TurnRecord",
     "TurnRequest",
@@ -33,6 +35,7 @@ __all__ = [
     "async_save_blocking_time",
     "clamp_decode_tokens",
     "layerwise_prefill_time",
+    "layerwise_prefill_time_reference",
     "no_preload_prefill_time",
     "perfect_overlap_buffer_layers",
     "preload_speedup",

@@ -19,6 +19,7 @@ contend on shared PCIe and SSD :class:`~repro.sim.Channel` objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..config import (
     EngineConfig,
@@ -66,6 +67,24 @@ class RunResult:
         return self.mode is ServingMode.CACHED
 
 
+class TurnCounter:
+    """Monotonic global turn numbering, shareable across engine replicas.
+
+    A cluster passes one counter to every replica so warm-up windows and
+    merged metrics use cluster-global turn order; a standalone engine owns
+    a private one, which reproduces the original per-engine numbering.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def next(self) -> int:
+        """Return the next global turn number."""
+        value = self._next
+        self._next += 1
+        return value
+
+
 class ServingEngine:
     """Simulated LLM serving engine for multi-turn conversation traces."""
 
@@ -79,20 +98,32 @@ class ServingEngine:
         store_config: StoreConfig | None = None,
         warmup_turns: int = 0,
         fault_config: FaultConfig | None = None,
+        *,
+        sim: Simulator | None = None,
+        pcie_h2d: Channel | None = None,
+        pcie_d2h: Channel | None = None,
+        ssd: Channel | None = None,
+        turn_counter: TurnCounter | None = None,
+        name: str = "engine",
     ) -> None:
         self.model = model
+        self.name = name
         self.hardware = hardware or HardwareConfig().for_model(model)
         self.config = engine_config or EngineConfig(
             batch_size=model.default_batch_size
         )
         self.perf = PerfModel(model, self.hardware)
-        self.sim = Simulator()
+        # A cluster injects one shared Simulator (and per-replica channels)
+        # so N replicas advance on a single event loop; a standalone engine
+        # builds its own, which is behaviourally identical to the original
+        # engine-owned construction.
+        self.sim = sim if sim is not None else Simulator()
         # PCIe is full duplex: host->device KV loads and device->host KV
         # saves ride independent directions ("dedicated CUDA streams",
         # Section 4.1), so they get separate channels.
-        self.pcie_h2d = Channel("pcie-h2d", self.hardware.pcie_bandwidth)
-        self.pcie_d2h = Channel("pcie-d2h", self.hardware.pcie_bandwidth)
-        self.ssd = Channel("ssd", self.hardware.ssd_bandwidth)
+        self.pcie_h2d = pcie_h2d or Channel("pcie-h2d", self.hardware.pcie_bandwidth)
+        self.pcie_d2h = pcie_d2h or Channel("pcie-d2h", self.hardware.pcie_bandwidth)
+        self.ssd = ssd or Channel("ssd", self.hardware.ssd_bandwidth)
         self.disk_path = ChannelPair(self.ssd, self.pcie_h2d)
 
         # An inert fault config (all rates zero) builds no injector, so
@@ -125,10 +156,13 @@ class ServingEngine:
         # replaced at save time, so demoting it would only waste SSD writes
         # (and a popped job is otherwise invisible to the queue view).
         self._active_sessions: set[int] = set()
-        self._global_turn = 0
+        self._turn_counter = turn_counter if turn_counter is not None else TurnCounter()
         self._remaining_sessions = 0
         self._hbm_budget_tokens = self._compute_hbm_budget_tokens()
         self._hbm_reserved_tokens = 0
+        # A cluster installs a hook here to route each session's next turn
+        # (possibly to a different replica) instead of resubmitting locally.
+        self.next_turn_hook: Callable[[ServingEngine, SessionState], None] | None = None
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -149,11 +183,29 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def run(self, trace: Trace) -> RunResult:
         """Replay ``trace`` to completion and return aggregate results."""
+        self.schedule_trace(trace)
+        self.sim.run()
+        return self.result()
+
+    def schedule_trace(self, trace: Trace) -> None:
+        """Schedule every session arrival of ``trace`` (without running).
+
+        Split out of :meth:`run` so a cluster can schedule work on several
+        replicas sharing one simulator before draining it once.
+        """
         if len(trace) == 0:
             raise ValueError("cannot run an empty trace")
-        self._remaining_sessions = len(trace)
+        self._remaining_sessions += len(trace)
         for conv in trace:
             self.sim.at(conv.arrival_time, self._session_starter(conv))
+        self.schedule_maintenance()
+
+    def schedule_maintenance(self) -> None:
+        """Arm background work: TTL sweeps and injected tier-loss events.
+
+        Called by :meth:`schedule_trace`; a cluster calls it directly for
+        each replica, since cluster arrivals bypass ``schedule_trace``.
+        """
         if self.store is not None and self.store.config.ttl_seconds is not None:
             self.sim.after(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
         if self.store is not None and self.fault_config is not None:
@@ -162,7 +214,9 @@ class ServingEngine:
                     event.at,
                     lambda tier=Tier(event.tier): self.store.lose_tier(tier),  # type: ignore[union-attr]
                 )
-        self.sim.run()
+
+    def result(self) -> RunResult:
+        """Aggregate results after the simulator has drained."""
         return RunResult(
             summary=self.metrics.summarise(),
             store_stats=self.store.stats if self.store else None,
@@ -172,6 +226,39 @@ class ServingEngine:
             model_name=self.model.name,
             mode=self.config.mode,
         )
+
+    @property
+    def active_sessions(self) -> frozenset[int]:
+        """Sessions currently admitted (prefilling or decoding); their
+        store items are pinned against eviction."""
+        return frozenset(self._active_sessions)
+
+    @property
+    def load_tokens(self) -> int:
+        """Waiting + admitted token load (the least-loaded routing signal):
+        queued question/answer tokens plus HBM-reserved tokens of jobs
+        currently prefilling or decoding."""
+        return self.queue.pending_tokens + self._hbm_reserved_tokens
+
+    def start_session(self, conv: Conversation) -> None:
+        """Begin serving ``conv`` now (cluster arrival entry point)."""
+        self._remaining_sessions += 1
+        self._session_starter(conv)()
+
+    def submit_next_turn(self, session: SessionState) -> None:
+        """Enqueue a session's next turn now (cluster routing entry point)."""
+        self._submit_next_turn(session)
+
+    def release_session(self, session_id: int) -> SessionState:
+        """Hand a session off to another replica (cluster migration)."""
+        session = self.sessions.pop(session_id)
+        self._remaining_sessions -= 1
+        return session
+
+    def adopt_session(self, session: SessionState) -> None:
+        """Take over a session handed off by another replica."""
+        self.sessions[session.session_id] = session
+        self._remaining_sessions += 1
 
     # ------------------------------------------------------------------
     # Arrival path
@@ -192,9 +279,8 @@ class ServingEngine:
             q_tokens=turn.q_tokens,
             a_tokens=turn.a_tokens,
             arrival_time=self.sim.now,
-            global_turn=self._global_turn,
+            global_turn=self._turn_counter.next(),
         )
-        self._global_turn += 1
         self.queue.push(request)
         self._prefetch()
         self._dispatch()
@@ -509,7 +595,11 @@ class ServingEngine:
             self._remaining_sessions -= 1
         else:
             think = session.conversation.turns[session.next_turn].think_time
-            self.sim.after(think, lambda: self._submit_next_turn(session))
+            if self.next_turn_hook is not None:
+                hook = self.next_turn_hook
+                self.sim.after(think, lambda: hook(self, session))
+            else:
+                self.sim.after(think, lambda: self._submit_next_turn(session))
         return blocking
 
     def _save_kv(self, job: ActiveJob, session: SessionState) -> float:

@@ -174,6 +174,35 @@ class MetricsCollector:
             raise ValueError(f"seconds must be >= 0, got {seconds}")
         self._gpu_busy_total += seconds
 
+    @classmethod
+    def merged(cls, collectors: "list[MetricsCollector]") -> "MetricsCollector":
+        """Pool several replicas' collectors into one cluster-level view.
+
+        Records keep their per-replica ``in_eval_window`` flags (the warm-up
+        prefix is defined over cluster-global turn numbers when replicas
+        share a turn counter) and their per-replica recording order —
+        deliberately *not* re-sorted, so a one-replica merge sums floats in
+        exactly the order a standalone engine would (bit-identical results).
+        """
+        merged = cls(warmup_turns=0)
+        for collector in collectors:
+            merged.records.extend(collector.records)
+            merged._gpu_busy_total += collector._gpu_busy_total
+            merged._max_decode_stall = max(
+                merged._max_decode_stall, collector._max_decode_stall
+            )
+            merged._decode_stall_total += collector._decode_stall_total
+            if collector._first_arrival is not None:
+                if (
+                    merged._first_arrival is None
+                    or collector._first_arrival < merged._first_arrival
+                ):
+                    merged._first_arrival = collector._first_arrival
+            merged._last_completion = max(
+                merged._last_completion, collector._last_completion
+            )
+        return merged
+
     def record_decode_stall(self, seconds: float) -> None:
         """Time the decoding batch spent blocked behind a prefill slice."""
         if seconds < 0:

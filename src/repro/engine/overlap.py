@@ -47,6 +47,47 @@ def layerwise_prefill_time(
         ``max(finish(i-1), load_finish(i)) + c`` where layers below ``B``
         are ready at time 0 and layer ``i >= B`` is ready at
         ``(i - B + 1) * d``.
+
+    Unrolling the recurrence gives ``finish = max_i(ready(i) + (L-i)*c)``:
+    the critical path enters the pipeline at exactly one layer ``i`` and
+    computes straight through from there.  ``ready`` is piecewise linear in
+    ``i``, so the maximum sits at a segment endpoint — ``i = 0`` (pure
+    compute), ``i = B`` (first unbuffered layer) or ``i = L-1`` (the drain-
+    limited tail) — and the whole pipeline solves in O(1).
+    """
+    if n_layers <= 0:
+        raise ValueError(f"n_layers must be positive, got {n_layers}")
+    if buffer_layers < 0:
+        raise ValueError(f"buffer_layers must be >= 0, got {buffer_layers}")
+    _check_nonneg(compute_time, load_time)
+    c = compute_time / n_layers
+    d = load_time / n_layers
+    b = min(buffer_layers, n_layers)
+    if b >= n_layers:
+        # Every layer's KV is pre-buffered: pure compute.
+        return n_layers * c
+    # Critical path entering at the first unbuffered layer vs. at the last
+    # layer; the max over the linear segment is attained at one of the two.
+    head = d + (n_layers - b) * c
+    tail = (n_layers - b) * d + c
+    finish = max(head, tail)
+    if b > 0:
+        # With a buffer, the path may also enter at layer 0 (ready at 0).
+        finish = max(finish, n_layers * c)
+    return finish
+
+
+def layerwise_prefill_time_reference(
+    n_layers: int,
+    compute_time: float,
+    load_time: float,
+    buffer_layers: int = 0,
+) -> float:
+    """Reference O(L) recurrence for :func:`layerwise_prefill_time`.
+
+    Evaluates the per-layer pipeline literally (Figures 6-7).  Kept as the
+    oracle for the property test pinning the closed form; the serving hot
+    path uses the O(1) solution above.
     """
     if n_layers <= 0:
         raise ValueError(f"n_layers must be positive, got {n_layers}")

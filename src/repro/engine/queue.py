@@ -26,12 +26,21 @@ class SchedulerQueue:
         self._seq_by_session: dict[int, int] = {}
         self._next_seq = 0
         self._head_seq = 0
+        self._pending_tokens = 0
 
     def __len__(self) -> int:
         return len(self._queue)
 
     def __bool__(self) -> bool:
         return bool(self._queue)
+
+    @property
+    def pending_tokens(self) -> int:
+        """Question + answer tokens of all waiting jobs (O(1)).
+
+        The load signal cluster routers use for least-loaded balancing.
+        """
+        return self._pending_tokens
 
     def push(self, request: TurnRequest) -> None:
         """Append a job to the queue tail.
@@ -47,6 +56,7 @@ class SchedulerQueue:
         self._next_seq += 1
         self._seq_by_session[request.session_id] = request.seq
         self._queue.append(request)
+        self._pending_tokens += request.q_tokens + request.a_tokens
 
     def pop(self) -> TurnRequest:
         """Remove and return the job at the queue head.
@@ -56,6 +66,7 @@ class SchedulerQueue:
         """
         request = self._queue.popleft()
         del self._seq_by_session[request.session_id]
+        self._pending_tokens -= request.q_tokens + request.a_tokens
         if self._queue:
             self._head_seq = self._queue[0].seq
         else:

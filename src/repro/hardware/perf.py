@@ -19,6 +19,7 @@ Decode:   ``t = (weight_bytes + kv_bytes) / (num_gpus * hbm_bw * mbu)``
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from ..config import HardwareConfig
@@ -32,27 +33,50 @@ class PerfModel:
     model: ModelSpec
     hardware: HardwareConfig
 
+    def __post_init__(self) -> None:
+        # The simulator calls into this model on every event, so the
+        # derived constants are computed once and the pure prefill-time
+        # function is memoised per instance.  A bound-closure lru_cache
+        # avoids hashing the whole (model, hardware) pair on every call;
+        # the frozen dataclass guarantees the inputs never change.
+        hw = self.hardware
+        object.__setattr__(
+            self, "_effective_flops", hw.num_gpus * hw.gpu.peak_flops * hw.gpu.mfu
+        )
+        object.__setattr__(
+            self,
+            "_effective_hbm_bandwidth",
+            hw.num_gpus * hw.gpu.hbm_bandwidth * hw.gpu.mbu,
+        )
+        object.__setattr__(
+            self, "_kv_bytes_per_token", self.model.kv_bytes_per_token
+        )
+        object.__setattr__(
+            self, "_prefill_time_cached", lru_cache(maxsize=None)(self._prefill_time)
+        )
+
     # ------------------------------------------------------------------
     # Compute
     # ------------------------------------------------------------------
     @property
     def effective_flops(self) -> float:
-        hw = self.hardware
-        return hw.num_gpus * hw.gpu.peak_flops * hw.gpu.mfu
+        return self._effective_flops
 
     @property
     def effective_hbm_bandwidth(self) -> float:
-        hw = self.hardware
-        return hw.num_gpus * hw.gpu.hbm_bandwidth * hw.gpu.mbu
+        return self._effective_hbm_bandwidth
+
+    def _prefill_time(self, n_new: int, n_past: int, batch: int) -> float:
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        flops = batch * self.model.prefill_flops(n_new, n_past)
+        return flops / self.effective_flops
 
     def prefill_time(self, n_new: int, n_past: int = 0, batch: int = 1) -> float:
         """Seconds to prefill ``n_new`` tokens per sequence for ``batch``
         sequences, each with ``n_past`` tokens of reused KV cache.
         """
-        if batch <= 0:
-            raise ValueError(f"batch must be positive, got {batch}")
-        flops = batch * self.model.prefill_flops(n_new, n_past)
-        return flops / self.effective_flops
+        return self._prefill_time_cached(n_new, n_past, batch)
 
     def prefill_time_per_token(self, batch: int = 1) -> float:
         """Marginal prefill seconds per token (dense term only).
@@ -68,7 +92,7 @@ class PerfModel:
         active sequence; per-token FLOPs are negligible next to the
         bandwidth term for realistic batch sizes.
         """
-        kv_bytes = self.model.kv_bytes_per_token * sum(context_lengths)
+        kv_bytes = self._kv_bytes_per_token * sum(context_lengths)
         total = self.model.weight_bytes + kv_bytes
         return total / self.effective_hbm_bandwidth
 
@@ -102,7 +126,7 @@ class PerfModel:
             n_iterations * context_sum
             + batch * n_iterations * (n_iterations - 1) // 2
         )
-        kv_bytes = self.model.kv_bytes_per_token * total_ctx
+        kv_bytes = self._kv_bytes_per_token * total_ctx
         weight_bytes = self.model.weight_bytes * n_iterations
         return (weight_bytes + kv_bytes) / self.effective_hbm_bandwidth
 

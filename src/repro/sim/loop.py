@@ -48,7 +48,8 @@ class Simulator:
         Args:
             until: stop once the next event is later than this time (the
                 clock is left at ``until``).  ``None`` drains the queue.
-            max_events: safety valve; raise if exceeded.
+            max_events: safety valve; raise *before* running an event that
+                would push the lifetime count past this limit.
         """
         while True:
             next_time = self._queue.peek_time()
@@ -59,13 +60,13 @@ class Simulator:
             if until is not None and next_time > until:
                 self.clock.advance_to(until)
                 return
+            if max_events is not None and self._events_processed >= max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a scheduling loop"
+                )
             event = self._queue.pop()
             assert event is not None
             self.clock.advance_to(event.time)
             event.callback()
             self._events_processed += 1
-            if max_events is not None and self._events_processed > max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events; "
-                    "likely a scheduling loop"
-                )

@@ -92,6 +92,11 @@ class StoreStats:
     fallback_recomputes: int = 0
     breaker_trips: int = 0
     breaker_recoveries: int = 0
+    # Cluster-serving counters (zero outside multi-instance runs):
+    migrations_in: int = 0
+    migrations_out: int = 0
+    migrated_bytes_out: int = 0
+    scatter_drops: int = 0
 
 
 def make_policy(
@@ -440,6 +445,60 @@ class AttentionStore:
                 f"n_discard_tokens must be >= 0, got {n_discard_tokens}"
             )
         return self.truncate(session_id, item.n_tokens - n_discard_tokens)
+
+    # ------------------------------------------------------------------
+    # Migration (cluster serving)
+    # ------------------------------------------------------------------
+    def extract(self, session_id: int) -> KVCacheItem | None:
+        """Remove and return a session's cache for migration to a peer store.
+
+        The returned item still records the tier it resided in, so the
+        caller can model the transfer source (disk items must be staged
+        through the SSD link first).  Items that could not be served anyway
+        (invalid, lost, corrupt) are dropped and None is returned —
+        migrating them would only ship garbage across the network.
+        """
+        item = self._items.get(session_id)
+        if item is None:
+            return None
+        if not item.valid or item.lost or item.corrupt:
+            self.drop(session_id)
+            return None
+        self.drop(session_id)
+        self.stats.migrations_out += 1
+        self.stats.migrated_bytes_out += item.n_bytes
+        return item
+
+    def admit_migrated(
+        self,
+        session_id: int,
+        n_tokens: int,
+        now: float,
+        ready_at: float = 0.0,
+        position_decoupled: bool = True,
+        queue: QueueView = _EMPTY_QUEUE,
+        pinned: frozenset[int] = frozenset(),
+    ) -> KVCacheItem | None:
+        """Admit a cache migrated from a peer store into DRAM.
+
+        The item lands in DRAM but only becomes usable once the modelled
+        inter-host transfer completes at ``ready_at`` — a DRAM hit before
+        then waits, exactly like an in-flight prefetch.  Counted as a
+        migration, not a fresh save.
+        """
+        item = self.save(
+            session_id,
+            n_tokens,
+            now,
+            queue=queue,
+            position_decoupled=position_decoupled,
+            pinned=pinned,
+        )
+        if item is not None:
+            item.dram_ready_at = ready_at
+            self.stats.migrations_in += 1
+            self.stats.saves -= 1
+        return item
 
     # ------------------------------------------------------------------
     # Eviction

@@ -1,0 +1,114 @@
+"""Router unit tests: routing decisions from explicit load vectors."""
+
+import pytest
+
+from repro.cluster import (
+    AffinityRouter,
+    ClusterConfig,
+    LeastLoadedRouter,
+    Router,
+    RouterName,
+    RoundRobinRouter,
+    make_router,
+)
+
+
+class StubEngine:
+    """Just enough of a ServingEngine for routing: a load signal."""
+
+    def __init__(self, load_tokens):
+        self.load_tokens = load_tokens
+
+
+def engines(*loads):
+    return [StubEngine(load) for load in loads]
+
+
+class TestRoundRobin:
+    def test_strict_rotation(self):
+        router = RoundRobinRouter(engines(0, 0, 0))
+        picks = [router.route(session_id=9, home=None) for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_ignores_home_and_load(self):
+        router = RoundRobinRouter(engines(10_000, 0))
+        assert router.route(1, home=1) == 0
+        assert router.route(1, home=1) == 1
+
+
+class TestLeastLoaded:
+    def test_picks_minimum_load(self):
+        router = LeastLoadedRouter(engines(500, 20, 300))
+        assert router.route(1, home=0) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        router = LeastLoadedRouter(engines(50, 50, 50))
+        assert router.route(1, home=2) == 0
+
+
+class TestAffinity:
+    def test_new_session_goes_least_loaded(self):
+        router = AffinityRouter(engines(100, 10, 200))
+        assert router.route(1, home=None) == 1
+
+    def test_returning_session_stays_home(self):
+        router = AffinityRouter(engines(100, 10, 200), spill_tokens=1000)
+        assert router.route(1, home=2) == 2
+
+    def test_spills_when_home_overloaded(self):
+        router = AffinityRouter(engines(5000, 10), spill_tokens=1000)
+        assert router.route(1, home=0) == 1
+
+    def test_spill_threshold_is_strict(self):
+        router = AffinityRouter(engines(1010, 10), spill_tokens=1000)
+        # imbalance == threshold: stay home (locality wins ties)
+        assert router.route(1, home=0) == 0
+        router = AffinityRouter(engines(1011, 10), spill_tokens=1000)
+        assert router.route(1, home=0) == 1
+
+    def test_rejects_negative_spill(self):
+        with pytest.raises(ValueError):
+            AffinityRouter(engines(0), spill_tokens=-1)
+
+
+class TestMakeRouter:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [
+            (RouterName.ROUND_ROBIN, RoundRobinRouter),
+            (RouterName.LEAST_LOADED, LeastLoadedRouter),
+            (RouterName.AFFINITY, AffinityRouter),
+        ],
+    )
+    def test_builds_named_router(self, name, cls):
+        router = make_router(name, engines(0, 0))
+        assert isinstance(router, cls)
+        assert isinstance(router, Router)
+        assert router.name is name
+
+    def test_spill_tokens_forwarded(self):
+        router = make_router(RouterName.AFFINITY, engines(0), spill_tokens=7)
+        assert router.spill_tokens == 7
+
+    def test_empty_replica_list_rejected(self):
+        with pytest.raises(ValueError):
+            make_router(RouterName.ROUND_ROBIN, [])
+
+
+class TestClusterConfigValidation:
+    def test_defaults_valid(self):
+        config = ClusterConfig()
+        assert config.n_instances == 1
+        assert config.router is RouterName.AFFINITY
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_instances": 0},
+            {"net_bandwidth": 0.0},
+            {"affinity_spill_tokens": -5},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ClusterConfig(**kwargs)

@@ -7,6 +7,7 @@ import pytest
 PACKAGES = [
     "repro",
     "repro.analysis",
+    "repro.cluster",
     "repro.engine",
     "repro.faults",
     "repro.hardware",
