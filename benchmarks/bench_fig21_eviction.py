@@ -8,7 +8,7 @@ scheduler-aware policy serves >99.6 % of hits from DRAM.  Higher hit rates
 translate into lower GPU time (up to 2.7x).
 """
 
-from _shared import once, run_with_store
+from _shared import once, store_sweep
 
 from repro.analysis import format_table, percent
 from repro.config import EvictionPolicyName, StoreConfig
@@ -26,18 +26,19 @@ POLICIES = (
 
 
 def run_all():
-    results = {}
-    for label, sizes in STORAGE_CONFIGS.items():
-        for policy in POLICIES:
-            store = StoreConfig(
-                policy=policy,
-                # Only the scheduler-aware policy has the hints needed to
-                # prefetch (Section 4.3.3).
-                enable_prefetch=policy is EvictionPolicyName.SCHEDULER_AWARE,
-                **sizes,
-            )
-            results[(label, policy)] = run_with_store("llama-13b", store)
-    return results
+    configs = {
+        (label, policy): StoreConfig(
+            policy=policy,
+            # Only the scheduler-aware policy has the hints needed to
+            # prefetch (Section 4.3.3).
+            enable_prefetch=policy is EvictionPolicyName.SCHEDULER_AWARE,
+            **sizes,
+        )
+        for label, sizes in STORAGE_CONFIGS.items()
+        for policy in POLICIES
+    }
+    # The six runs are independent; --jobs fans them out across processes.
+    return store_sweep(configs, "llama-13b")
 
 
 def test_fig21_eviction_policies(benchmark):

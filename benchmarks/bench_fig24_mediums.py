@@ -6,7 +6,7 @@ delivers the high hit rates (86/71/89/90 % in the paper) and the GPU-time
 wins.
 """
 
-from _shared import EVAL_MODEL_NAMES, end_to_end_run, once, run_with_store
+from _shared import EVAL_MODEL_NAMES, end_to_end_run, once, parallel_runs
 
 from repro.analysis import format_table, percent
 from repro.config import ServingMode, StoreConfig
@@ -22,11 +22,19 @@ CONFIGS = {
 
 
 def run_all():
-    results = {}
-    for name in EVAL_MODEL_NAMES:
-        for label, store in CONFIGS.items():
-            results[(name, label)] = run_with_store(name, store)
-    return results
+    specs = {
+        f"{name}|{label}": dict(
+            model_name=name, mode=ServingMode.CACHED, store_config=store
+        )
+        for name in EVAL_MODEL_NAMES
+        for label, store in CONFIGS.items()
+    }
+    by_key = parallel_runs(specs)  # honours --jobs / REPRO_BENCH_JOBS
+    return {
+        (name, label): by_key[f"{name}|{label}"]
+        for name in EVAL_MODEL_NAMES
+        for label in CONFIGS
+    }
 
 
 def test_fig24_storage_mediums(benchmark):

@@ -8,6 +8,22 @@ call sites in isolation, where the win is not buried under event-loop and
 store bookkeeping.  Results land in ``BENCH_sim.json`` at the repo root,
 seeding the perf trajectory.
 
+Two further sections measure the PR-3 performance layer:
+
+* **sweep** — a grid of replay points run serially and via the
+  :mod:`repro.runner` process pool; per-point results must be
+  bit-identical and the wall-clock speedup is floored at a fraction of
+  ``min(jobs, cpus)`` (on a single-CPU host parallelism cannot beat
+  serial, so the floor only guards against pathological overhead there).
+* **metrics_modes** — the same replay with the exact and the streaming
+  :class:`MetricsCollector`: identical counters, p95 TTFT within
+  tolerance, and the streaming run retaining no per-turn records.
+
+Env knobs (all optional): ``REPRO_PERF_SESSIONS``, ``REPRO_PERF_JOBS``,
+``REPRO_PERF_SWEEP_FLOOR`` (override the sweep speedup floor),
+``REPRO_PERF_EVENTS_FLOOR`` (minimum streaming-replay events/s; 0 = off),
+``REPRO_PERF_MAX_RSS_MB`` (peak-RSS ceiling for the process; 0 = off).
+
 Runs standalone (``python benchmarks/bench_perf_sim.py``) or under pytest.
 """
 
@@ -15,7 +31,9 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import time
+import tracemalloc
 
 from repro.config import EngineConfig, HardwareConfig, StoreConfig
 from repro.engine import ServingEngine
@@ -25,6 +43,7 @@ from repro.engine.overlap import (
 )
 from repro.hardware.perf import PerfModel
 from repro.models import ModelSpec, get_model
+from repro.runner import SweepPoint, run_sweep, unwrap
 from repro.workload import WorkloadSpec, generate_trace
 
 import repro.engine.engine as engine_module
@@ -33,16 +52,26 @@ MODEL_NAME = "llama-13b"
 BENCH_SESSIONS = int(os.environ.get("REPRO_PERF_SESSIONS", "1200"))
 REPLAY_ROUNDS = 3
 MICRO_CALLS = 100_000
+SWEEP_JOBS = int(os.environ.get("REPRO_PERF_JOBS", "4"))
+SWEEP_SESSION_GRID = (400, 600, 800, 1000)
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_sim.json")
 
 
-def build_engine() -> ServingEngine:
+def available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_engine(streaming_metrics: bool = False) -> ServingEngine:
     model = get_model(MODEL_NAME)
     return ServingEngine(
         model,
         hardware=HardwareConfig().for_model(model),
         engine_config=EngineConfig(batch_size=model.default_batch_size),
         store_config=StoreConfig(),
+        streaming_metrics=streaming_metrics,
     )
 
 
@@ -93,6 +122,105 @@ def micro(fn, *args):
     return time.perf_counter() - start
 
 
+def _replay_point_worker(point: SweepPoint, seed: int):
+    """Sweep worker: one replay at ``point.params`` sessions (spawn-safe)."""
+    del seed  # the replay trace seed is part of the config, not per-point
+    trace = generate_trace(WorkloadSpec(n_sessions=point.params, seed=42))
+    result = build_engine().run(trace)
+    return (result.summary, result.store_stats, result.events_processed)
+
+
+def sweep_benchmark() -> dict:
+    """Serial vs parallel grid replay: wall-clock and bit-identity."""
+    points = [SweepPoint(f"sessions={n}", n) for n in SWEEP_SESSION_GRID]
+    start = time.perf_counter()
+    serial = unwrap(run_sweep(_replay_point_worker, points, jobs=1))
+    serial_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = unwrap(run_sweep(_replay_point_worker, points, jobs=SWEEP_JOBS))
+    parallel_wall = time.perf_counter() - start
+    return {
+        "jobs": SWEEP_JOBS,
+        "cpus": available_cpus(),
+        "points": [p.key for p in points],
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 4),
+        "bit_identical": all(serial[k] == parallel[k] for k in serial),
+    }
+
+
+def metrics_modes_benchmark() -> dict:
+    """Exact vs streaming MetricsCollector on the full replay.
+
+    Timing runs first (untraced); a second pair of runs under tracemalloc
+    measures the memory still *retained* when the run finishes — the
+    collector's record list is the only difference between the modes, so
+    the retained-bytes gap is the streaming win.
+    """
+    trace = generate_trace(WorkloadSpec(n_sessions=BENCH_SESSIONS, seed=42))
+
+    def timed(streaming: bool):
+        engine = build_engine(streaming_metrics=streaming)
+        start = time.perf_counter()
+        result = engine.run(trace)
+        return time.perf_counter() - start, result, engine
+
+    exact_wall, exact, _ = timed(False)
+    streaming_wall, streaming, _ = timed(True)
+
+    retained = {}
+    records = {}
+    for label, flag in (("exact", False), ("streaming", True)):
+        tracemalloc.start()
+        _, result, engine = timed(flag)
+        retained[label], _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        records[label] = len(engine.metrics.records)
+        del result, engine
+
+    exact_summary, streaming_summary = exact.summary, streaming.summary
+    counters_identical = all(
+        getattr(streaming_summary, f) == getattr(exact_summary, f)
+        for f in (
+            "n_turns",
+            "n_lookups",
+            "hits_dram",
+            "hits_disk",
+            "hits_hbm",
+            "misses",
+            "fallbacks",
+            "mean_ttft",
+            "mean_queue_delay",
+            "prompt_tokens_total",
+            "reused_tokens_total",
+            "prefill_gpu_time",
+            "decode_gpu_time",
+            "save_block_time",
+            "makespan",
+        )
+    )
+    p95_rel_err = (
+        abs(streaming_summary.p95_ttft - exact_summary.p95_ttft)
+        / exact_summary.p95_ttft
+        if exact_summary.p95_ttft
+        else 0.0
+    )
+    return {
+        "exact_wall_s": round(exact_wall, 4),
+        "streaming_wall_s": round(streaming_wall, 4),
+        "streaming_events_per_s": round(streaming.events_processed / streaming_wall),
+        "exact_retained_kb": round(retained["exact"] / 1024),
+        "streaming_retained_kb": round(retained["streaming"] / 1024),
+        "records_exact": records["exact"],
+        "records_streaming": records["streaming"],
+        "p95_ttft_exact": round(exact_summary.p95_ttft, 6),
+        "p95_ttft_streaming": round(streaming_summary.p95_ttft, 6),
+        "p95_rel_err": round(p95_rel_err, 6),
+        "counters_identical": counters_identical,
+    }
+
+
 def run_harness() -> dict:
     optimized_wall, optimized = best_of(REPLAY_ROUNDS)
     with legacy_hot_path():
@@ -139,6 +267,11 @@ def run_harness() -> dict:
             "unmemoized_s": round(prefill_uncached, 4),
             "speedup": round(prefill_uncached / prefill_cached, 2),
         },
+        "sweep": sweep_benchmark(),
+        "metrics_modes": metrics_modes_benchmark(),
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+        ),
     }
 
 
@@ -146,6 +279,24 @@ def write_report(payload: dict) -> None:
     with open(OUT_PATH, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
+
+
+def sweep_speedup_floor(sweep: dict) -> float:
+    """The minimum acceptable parallel-sweep speedup on this host.
+
+    Ideal is ``min(jobs, cpus)``; 75 % of that allows scheduling and
+    spawn overhead.  A single-CPU host cannot go faster than serial at
+    all — there the floor only rejects pathological overhead (> ~2x
+    slower than serial).
+    """
+    override = os.environ.get("REPRO_PERF_SWEEP_FLOOR")
+    if override is not None:
+        return float(override)
+    effective = min(sweep["jobs"], sweep["cpus"])
+    # Single CPU: jobs serialise anyway and each spawned worker re-imports
+    # the package, so "parallel" = serial + fixed startup overhead.  A
+    # floor of 0.25 rejects only pathological (>4x) regressions there.
+    return 0.75 * effective if effective > 1 else 0.25
 
 
 def test_perf_sim():
@@ -159,6 +310,23 @@ def test_perf_sim():
     assert payload["layerwise_prefill_time"]["speedup"] > 2.0
     assert payload["perfmodel_prefill_time"]["speedup"] > 1.2
     assert payload["replay"]["speedup"] > 0.85
+    # Parallel sweeps must change wall-clock only, never results.
+    sweep = payload["sweep"]
+    assert sweep["bit_identical"]
+    assert sweep["speedup"] >= sweep_speedup_floor(sweep), sweep
+    # Streaming metrics: exact counters, bounded p95 error, O(1) records.
+    modes = payload["metrics_modes"]
+    assert modes["counters_identical"]
+    assert modes["p95_rel_err"] <= 0.02
+    assert modes["records_streaming"] == 0 < modes["records_exact"]
+    assert modes["streaming_retained_kb"] < modes["exact_retained_kb"]
+    # Optional CI guard rails (off when unset).
+    events_floor = int(os.environ.get("REPRO_PERF_EVENTS_FLOOR", "0"))
+    if events_floor:
+        assert modes["streaming_events_per_s"] >= events_floor, modes
+    rss_ceiling_mb = int(os.environ.get("REPRO_PERF_MAX_RSS_MB", "0"))
+    if rss_ceiling_mb:
+        assert payload["peak_rss_mb"] <= rss_ceiling_mb, payload["peak_rss_mb"]
 
 
 if __name__ == "__main__":

@@ -1,0 +1,28 @@
+"""Pytest wiring for the benchmark harness.
+
+Adds ``--jobs N``: independent serving runs inside a benchmark fan out
+across N spawn-based worker processes (see :mod:`repro.runner`).  Results
+are bit-identical to a serial pass; only wall-clock changes.  The option
+is exported through ``REPRO_BENCH_JOBS`` so ``_shared.bench_jobs()`` — and
+benchmarks run standalone with the env var — see one consistent knob.
+"""
+
+import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent serving runs "
+        "(default: REPRO_BENCH_JOBS or 1)",
+    )
+
+
+def pytest_configure(config):
+    jobs = config.getoption("--jobs")
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {jobs}")
+        os.environ["REPRO_BENCH_JOBS"] = str(jobs)

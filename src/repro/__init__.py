@@ -15,6 +15,7 @@ Top-level packages:
 * :mod:`repro.store` — AttentionStore (tiers, policies, prefetch).
 * :mod:`repro.engine` — continuous-batching serving engine (RE vs CA).
 * :mod:`repro.faults` — fault injection and graceful degradation.
+* :mod:`repro.runner` — deterministic process-parallel sweep runner.
 * :mod:`repro.model` — trainable NumPy RoPE transformer for the quality
   experiments (decoupled vs embedded positional encodings).
 * :mod:`repro.analysis` — cost/capacity analysis and report formatting.

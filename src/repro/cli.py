@@ -4,6 +4,7 @@ Subcommands:
 
 * ``workload``  — generate a synthetic ShareGPT-like trace (JSON).
 * ``run``       — serve a trace with CA or RE and print the summary.
+* ``run-sweep`` — serve one config grid in parallel worker processes.
 * ``compare``   — run both modes on one trace and print the comparison.
 * ``capacity``  — the Section 4.3.6 provisioning analysis for a trace.
 * ``models``    — list the registered model specs.
@@ -14,6 +15,9 @@ Examples::
     python -m repro.cli run --trace trace.json --model llama-13b
     python -m repro.cli run --sessions 300 --fault-profile chaos
     python -m repro.cli run --sessions 300 --instances 4 --router affinity
+    python -m repro.cli run --sessions 50000 --streaming-metrics
+    python -m repro.cli run-sweep --param policy \
+        --values scheduler-aware,lru,fifo --jobs 3 --sessions 300
     python -m repro.cli compare --sessions 300 --model llama-13b
     python -m repro.cli capacity --sessions 500 --model llama-13b --ttl 3600
 """
@@ -42,6 +46,7 @@ from .config import (
 from .engine import RunResult, ServingEngine
 from .faults import FAULT_PROFILES, fault_profile
 from .models import MODEL_REGISTRY, GiB, get_model
+from .runner import SweepPoint, run_sweep
 from .workload import Trace, WorkloadSpec, generate_trace
 
 
@@ -79,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-preload", action="store_true")
         p.add_argument("--sync-save", action="store_true")
         p.add_argument("--warmup-turns", type=int, default=0)
+        p.add_argument(
+            "--streaming-metrics",
+            action="store_true",
+            help="O(1)-memory metrics (p95 TTFT becomes a <=0.5%% estimate)",
+        )
 
     run = sub.add_parser("run", help="serve a trace")
     add_serving_args(run)
@@ -102,6 +112,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject storage faults (graceful-degradation demo)",
     )
     run.add_argument("--fault-seed", type=int, default=0)
+
+    sweep = sub.add_parser(
+        "run-sweep",
+        help="serve a grid of configs, optionally in parallel processes",
+    )
+    add_serving_args(sweep)
+    sweep.add_argument("--mode", default="ca", choices=["ca", "re"])
+    sweep.add_argument(
+        "--fault-profile",
+        default="none",
+        choices=FAULT_PROFILES,
+        help="inject storage faults (per-point fault seeds derive from "
+        "--base-seed and the point key)",
+    )
+    sweep.add_argument("--fault-seed", type=int, default=0)
+    sweep.add_argument(
+        "--param",
+        required=True,
+        choices=sorted(SWEEP_PARAMS),
+        help="which serving parameter the sweep varies",
+    )
+    sweep.add_argument(
+        "--values",
+        required=True,
+        help="comma-separated values for --param, one serving run each",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = inline, the bit-identical reference)",
+    )
+    sweep.add_argument(
+        "--base-seed",
+        type=int,
+        default=0,
+        help="experiment seed that per-point seeds derive from",
+    )
 
     cmp_ = sub.add_parser("compare", help="run CA and RE on one trace")
     add_serving_args(cmp_)
@@ -153,6 +201,7 @@ def _build_engine(args: argparse.Namespace, mode: ServingMode) -> ServingEngine:
         store_config=store_config,
         warmup_turns=args.warmup_turns,
         fault_config=fault_config,
+        streaming_metrics=getattr(args, "streaming_metrics", False),
     )
 
 
@@ -187,6 +236,7 @@ def _build_cluster(args: argparse.Namespace, mode: ServingMode) -> ClusterEngine
         store_config=store_config,
         warmup_turns=args.warmup_turns,
         fault_config=fault_config,
+        streaming_metrics=getattr(args, "streaming_metrics", False),
     )
 
 
@@ -276,6 +326,80 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+# Sweepable serving parameters: CLI name -> (namespace attribute, parser).
+SWEEP_PARAMS = {
+    "policy": ("policy", str),
+    "dram-gb": ("dram_gb", float),
+    "ssd-gb": ("ssd_gb", float),
+    "batch-size": ("batch_size", int),
+    "sessions": ("sessions", int),
+}
+
+
+def _sweep_worker(point: SweepPoint, seed: int) -> RunResult:
+    """Serve one sweep point (runs in a spawned worker process).
+
+    ``point.params`` is the full serving-args namespace as a dict with the
+    swept attribute already overridden.  The workload trace is rebuilt (or
+    reloaded) in the worker; the fault stream, when faults are enabled,
+    uses the runner-derived per-point seed so points stay independent and
+    reproducible in isolation.
+    """
+    args = argparse.Namespace(**point.params)
+    if args.fault_profile != "none":
+        args.fault_seed = seed
+    mode = ServingMode.CACHED if args.mode == "ca" else ServingMode.RECOMPUTE
+    return _build_engine(args, mode).run(_load_trace(args))
+
+
+def cmd_run_sweep(args: argparse.Namespace) -> int:
+    attr, parse = SWEEP_PARAMS[args.param]
+    values = [parse(v.strip()) for v in args.values.split(",") if v.strip()]
+    if not values:
+        raise SystemExit("--values must name at least one value")
+    base = {
+        k: v for k, v in vars(args).items()
+        if k not in ("param", "values", "jobs", "base_seed", "command")
+    }
+    points = [
+        SweepPoint(key=f"{args.param}={value}", params={**base, attr: value})
+        for value in values
+    ]
+    results = run_sweep(
+        _sweep_worker, points, jobs=args.jobs, base_seed=args.base_seed
+    )
+    rows = []
+    failed = [r for r in results if not r.ok]
+    for r in results:
+        if not r.ok:
+            rows.append([r.key, "FAILED", "-", "-", "-", "-"])
+            continue
+        s = r.value.summary
+        rows.append(
+            [
+                r.key,
+                percent(s.hit_rate),
+                f"{s.mean_ttft:.4f}",
+                f"{s.p95_ttft:.4f}",
+                f"{s.prefill_throughput:,.0f}",
+                f"{s.gpu_time / 3600:.3f}",
+            ]
+        )
+    print(
+        format_table(
+            ["point", "hit rate", "mean TTFT", "p95 TTFT", "tok/s", "GPU (h)"],
+            rows,
+            title=(
+                f"sweep {args.param}: {args.model} [{args.mode}] "
+                f"x{len(points)} points, jobs={args.jobs}"
+            ),
+        )
+    )
+    for r in failed:
+        print(f"\n--- {r.key} failed ---\n{r.error}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     trace = _load_trace(args)
     results = {}
@@ -357,6 +481,7 @@ def cmd_models(args: argparse.Namespace) -> int:
 COMMANDS = {
     "workload": cmd_workload,
     "run": cmd_run,
+    "run-sweep": cmd_run_sweep,
     "compare": cmd_compare,
     "capacity": cmd_capacity,
     "models": cmd_models,

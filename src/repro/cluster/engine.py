@@ -84,6 +84,7 @@ class ClusterEngine:
         store_config: StoreConfig | None = None,
         warmup_turns: int = 0,
         fault_config: FaultConfig | None = None,
+        streaming_metrics: bool = False,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         n = self.cluster.n_instances
@@ -120,6 +121,7 @@ class ClusterEngine:
                     pcie_d2h=Channel(f"pcie-d2h-{i}", hardware.pcie_bandwidth),
                     ssd=Channel("ssd", hardware.ssd_bandwidth),
                     turn_counter=self.turn_counter,
+                    streaming_metrics=streaming_metrics,
                     name=f"replica-{i}",
                 )
             )

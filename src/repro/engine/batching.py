@@ -19,7 +19,7 @@ from .metrics import TurnRecord
 from .request import TurnRequest
 
 
-@dataclass
+@dataclass(slots=True)
 class ActiveJob:
     """A job currently decoding in the batch."""
 

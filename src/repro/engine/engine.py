@@ -99,6 +99,7 @@ class ServingEngine:
         warmup_turns: int = 0,
         fault_config: FaultConfig | None = None,
         *,
+        streaming_metrics: bool = False,
         sim: Simulator | None = None,
         pcie_h2d: Channel | None = None,
         pcie_d2h: Channel | None = None,
@@ -147,7 +148,9 @@ class ServingEngine:
 
         self.queue = SchedulerQueue()
         self.batch = BatchState(self.config.batch_size)
-        self.metrics = MetricsCollector(warmup_turns=warmup_turns)
+        self.metrics = MetricsCollector(
+            warmup_turns=warmup_turns, streaming=streaming_metrics
+        )
         self.sessions: dict[int, SessionState] = {}
 
         self._gpu_busy = False
@@ -288,7 +291,9 @@ class ServingEngine:
     def _prefetch(self) -> None:
         if self.store is None:
             return
-        pinned = frozenset(self._active_sessions)
+        # The live set is passed directly (no frozenset copy): the store
+        # only reads it, and nothing mutates it within a single event.
+        pinned = self._active_sessions
         for session_id, done in self.store.prefetch(self.queue, self.sim.now, pinned):
             self.sim.at(
                 done,
@@ -616,7 +621,7 @@ class ServingEngine:
                 total_tokens,
                 now,
                 queue=self.queue,
-                pinned=frozenset(self._active_sessions),
+                pinned=self._active_sessions,
             )
         else:
             item = self.store.save(
@@ -625,7 +630,7 @@ class ServingEngine:
                 now,
                 queue=self.queue,
                 position_decoupled=decoupled,
-                pinned=frozenset(self._active_sessions),
+                pinned=self._active_sessions,
             )
         if item is None:
             return 0.0

@@ -20,10 +20,11 @@ the paper's "warm up with the first 10K turns, evaluate the following 42K".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from ..store.attention_store import LookupStatus
+from .streaming import LogHistogramQuantile
 
 
 class TurnOutcome(str, Enum):
@@ -54,7 +55,7 @@ class TurnOutcome(str, Enum):
         return self in (self.HIT_HBM, self.HIT_DRAM, self.HIT_DISK)
 
 
-@dataclass
+@dataclass(slots=True)
 class TurnRecord:
     """Everything measured about one served turn."""
 
@@ -149,25 +150,73 @@ class RunSummary:
 
 
 class MetricsCollector:
-    """Accumulates :class:`TurnRecord` entries and summarises a run."""
+    """Accumulates :class:`TurnRecord` entries and summarises a run.
 
-    def __init__(self, warmup_turns: int = 0) -> None:
+    Two modes:
+
+    * **exact** (default) — every record is retained and ``summarise()``
+      aggregates over the list.  O(turns) memory; p95 TTFT is exact.
+    * **streaming** (``streaming=True``) — per-turn fields are folded into
+      running sums and counters as they arrive and the record is *not*
+      retained, so memory stays O(1) in the number of turns.  Every
+      counter and sum in the resulting :class:`RunSummary` is
+      bit-identical to exact mode (same values added in the same order);
+      only ``p95_ttft`` is an estimate, from a log-spaced histogram with
+      ≤0.5 % relative error (see
+      :class:`~repro.engine.streaming.LogHistogramQuantile`).
+    """
+
+    def __init__(self, warmup_turns: int = 0, streaming: bool = False) -> None:
         if warmup_turns < 0:
             raise ValueError(f"warmup_turns must be >= 0, got {warmup_turns}")
         self.warmup_turns = warmup_turns
+        self.streaming = streaming
         self.records: list[TurnRecord] = []
         self._gpu_busy_total = 0.0
         self._max_decode_stall = 0.0
         self._decode_stall_total = 0.0
         self._first_arrival: float | None = None
         self._last_completion = 0.0
+        # Streaming accumulators (touched only when streaming=True; all
+        # sums are over the evaluation window, in recording order so the
+        # float totals match exact mode bit-for-bit).
+        self._n_eval = 0
+        self._outcome_counts = {outcome: 0 for outcome in TurnOutcome}
+        self._ttft_sum = 0.0
+        self._queue_delay_sum = 0.0
+        self._prompt_sum = 0
+        self._new_sum = 0
+        self._reused_sum = 0
+        self._generated_sum = 0
+        self._prefill_gpu_sum = 0.0
+        self._decode_gpu_sum = 0.0
+        self._save_block_sum = 0.0
+        self._dropped_sum = 0
+        self._ttft_hist = LogHistogramQuantile()
 
     def record_turn(self, record: TurnRecord) -> None:
         record.in_eval_window = record.global_turn >= self.warmup_turns
-        self.records.append(record)
         if self._first_arrival is None or record.arrival_time < self._first_arrival:
             self._first_arrival = record.arrival_time
         self._last_completion = max(self._last_completion, record.completion_time)
+        if not self.streaming:
+            self.records.append(record)
+            return
+        if not record.in_eval_window:
+            return
+        self._n_eval += 1
+        self._outcome_counts[record.outcome] += 1
+        self._ttft_sum += record.ttft
+        self._queue_delay_sum += record.queue_delay
+        self._prompt_sum += record.prompt_tokens
+        self._new_sum += record.new_tokens
+        self._reused_sum += record.reused_tokens
+        self._generated_sum += record.generated_tokens
+        self._prefill_gpu_sum += record.prefill_gpu_time
+        self._decode_gpu_sum += record.decode_gpu_share
+        self._save_block_sum += record.save_block_time
+        self._dropped_sum += record.dropped_tokens
+        self._ttft_hist.add(record.ttft)
 
     def record_gpu_busy(self, seconds: float) -> None:
         if seconds < 0:
@@ -184,9 +233,28 @@ class MetricsCollector:
         deliberately *not* re-sorted, so a one-replica merge sums floats in
         exactly the order a standalone engine would (bit-identical results).
         """
-        merged = cls(warmup_turns=0)
+        streaming_flags = {c.streaming for c in collectors}
+        if len(streaming_flags) > 1:
+            raise ValueError("cannot merge streaming and exact collectors")
+        streaming = bool(collectors) and collectors[0].streaming
+        merged = cls(warmup_turns=0, streaming=streaming)
         for collector in collectors:
             merged.records.extend(collector.records)
+            if streaming:
+                merged._n_eval += collector._n_eval
+                for outcome, count in collector._outcome_counts.items():
+                    merged._outcome_counts[outcome] += count
+                merged._ttft_sum += collector._ttft_sum
+                merged._queue_delay_sum += collector._queue_delay_sum
+                merged._prompt_sum += collector._prompt_sum
+                merged._new_sum += collector._new_sum
+                merged._reused_sum += collector._reused_sum
+                merged._generated_sum += collector._generated_sum
+                merged._prefill_gpu_sum += collector._prefill_gpu_sum
+                merged._decode_gpu_sum += collector._decode_gpu_sum
+                merged._save_block_sum += collector._save_block_sum
+                merged._dropped_sum += collector._dropped_sum
+                merged._ttft_hist.merge(collector._ttft_hist)
             merged._gpu_busy_total += collector._gpu_busy_total
             merged._max_decode_stall = max(
                 merged._max_decode_stall, collector._max_decode_stall
@@ -212,9 +280,14 @@ class MetricsCollector:
 
     def summarise(self) -> RunSummary:
         """Aggregate over the evaluation window."""
+        if self.streaming:
+            return self._summarise_streaming()
         evals = [r for r in self.records if r.in_eval_window]
+        n = len(evals)
+        # Sums run in recording order (not sorted order) so the streaming
+        # collector, which folds turns in as they arrive, produces the
+        # same float totals bit-for-bit.
         ttfts = sorted(r.ttft for r in evals)
-        n = len(ttfts)
         outcome_counts = {outcome: 0 for outcome in TurnOutcome}
         for r in evals:
             outcome_counts[r.outcome] += 1
@@ -231,7 +304,7 @@ class MetricsCollector:
             hits_hbm=outcome_counts[TurnOutcome.HIT_HBM],
             misses=outcome_counts[TurnOutcome.MISS],
             fallbacks=outcome_counts[TurnOutcome.FALLBACK_RECOMPUTE],
-            mean_ttft=sum(ttfts) / n if n else 0.0,
+            mean_ttft=sum(r.ttft for r in evals) / n if n else 0.0,
             p95_ttft=ttfts[min(n - 1, int(0.95 * n))] if n else 0.0,
             mean_queue_delay=(
                 sum(r.queue_delay for r in evals) / n if n else 0.0
@@ -244,6 +317,43 @@ class MetricsCollector:
             decode_gpu_time=sum(r.decode_gpu_share for r in evals),
             save_block_time=sum(r.save_block_time for r in evals),
             overflow_dropped_tokens=sum(r.dropped_tokens for r in evals),
+            max_decode_stall=self._max_decode_stall,
+            decode_stall_time=self._decode_stall_total,
+            total_gpu_busy_time=self._gpu_busy_total,
+            makespan=(
+                self._last_completion - self._first_arrival
+                if self._first_arrival is not None
+                else 0.0
+            ),
+        )
+
+    def _summarise_streaming(self) -> RunSummary:
+        n = self._n_eval
+        counts = self._outcome_counts
+        n_lookups = sum(
+            count
+            for outcome, count in counts.items()
+            if outcome is not TurnOutcome.FIRST_TURN
+        )
+        return RunSummary(
+            n_turns=n,
+            n_lookups=n_lookups,
+            hits_dram=counts[TurnOutcome.HIT_DRAM],
+            hits_disk=counts[TurnOutcome.HIT_DISK],
+            hits_hbm=counts[TurnOutcome.HIT_HBM],
+            misses=counts[TurnOutcome.MISS],
+            fallbacks=counts[TurnOutcome.FALLBACK_RECOMPUTE],
+            mean_ttft=self._ttft_sum / n if n else 0.0,
+            p95_ttft=self._ttft_hist.quantile(0.95),
+            mean_queue_delay=self._queue_delay_sum / n if n else 0.0,
+            prompt_tokens_total=self._prompt_sum,
+            new_tokens_total=self._new_sum,
+            reused_tokens_total=self._reused_sum,
+            generated_tokens_total=self._generated_sum,
+            prefill_gpu_time=self._prefill_gpu_sum,
+            decode_gpu_time=self._decode_gpu_sum,
+            save_block_time=self._save_block_sum,
+            overflow_dropped_tokens=self._dropped_sum,
             max_decode_stall=self._max_decode_stall,
             decode_stall_time=self._decode_stall_total,
             total_gpu_busy_time=self._gpu_busy_total,

@@ -94,6 +94,15 @@ class SchedulerQueue:
         """Session ids of the first ``k`` waiting jobs, head first."""
         return (r.session_id for r in islice(self._queue, k))
 
+    def head_window_list(self, k: int) -> list[int]:
+        """``head_window`` materialised as a list.
+
+        The prefetch planner consumes the window twice per plan (a set
+        disjointness guard, then the budget walk); one list comprehension
+        beats two generator traversals on that hot path.
+        """
+        return [r.session_id for r in islice(self._queue, k)]
+
     def tail_window(self, k: int) -> Iterator[int]:
         """Session ids of the last ``k`` waiting jobs, tail first."""
         return (r.session_id for r in islice(reversed(self._queue), k))

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class TurnRequest:
     """A job submitted to the serving engine for one conversation turn.
 

@@ -1,0 +1,32 @@
+"""Deterministic parallel experiment runner.
+
+The paper's evaluation is a grid of independent serving runs (policies x
+storage sizes x models).  Each point is a pure function of its
+configuration, so the grid parallelises across processes without changing
+any result — this package supplies the harness:
+
+* :func:`~repro.runner.seeds.seed_for` — per-point seed derivation, so a
+  point's random stream depends only on ``(base_seed, point key)`` and
+  never on which worker ran it or in what order;
+* :class:`~repro.runner.points.SweepPoint` /
+  :class:`~repro.runner.points.PointResult` — the unit of work and its
+  outcome (value or captured error);
+* :func:`~repro.runner.runner.run_sweep` — execute points inline
+  (``jobs=1``, the bit-identical reference) or across a spawn-based
+  process pool, returning results in point order with worker crashes
+  surfaced as per-point errors rather than a hung sweep.
+"""
+
+from .points import PointResult, SweepError, SweepPoint, unwrap
+from .runner import in_sweep_worker, run_sweep
+from .seeds import seed_for
+
+__all__ = [
+    "PointResult",
+    "SweepError",
+    "SweepPoint",
+    "in_sweep_worker",
+    "run_sweep",
+    "seed_for",
+    "unwrap",
+]

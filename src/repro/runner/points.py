@@ -1,0 +1,66 @@
+"""Sweep points and their outcomes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One unit of sweep work.
+
+    ``key`` identifies the point — it names it in results, errors and
+    logs, and seeds its random stream via
+    :func:`~repro.runner.seeds.seed_for` — so keys must be unique within
+    a sweep.  ``params`` is an arbitrary picklable payload interpreted by
+    the worker (a config dict, a tuple of grid coordinates, ...).
+    """
+
+    key: str
+    params: Any = None
+
+
+@dataclass(slots=True)
+class PointResult:
+    """Outcome of one sweep point.
+
+    Exactly one of ``value`` (success) or ``error`` (a formatted
+    traceback, or a crash description when the worker process died) is
+    meaningful; check :attr:`ok`.  ``duration`` is the point's own
+    wall-clock seconds — informational only, deliberately excluded from
+    equality so determinism tests can compare result lists directly.
+    """
+
+    key: str
+    value: Any = None
+    error: str | None = None
+    duration: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class SweepError(RuntimeError):
+    """Raised by :func:`unwrap` when any sweep point failed."""
+
+    def __init__(self, failures: list[PointResult]) -> None:
+        self.failures = failures
+        lines = [f"{len(failures)} sweep point(s) failed:"]
+        for result in failures:
+            first_line = (result.error or "").strip().splitlines()[-1:]
+            lines.append(f"  {result.key}: {first_line[0] if first_line else '?'}")
+        super().__init__("\n".join(lines))
+
+
+def unwrap(results: list[PointResult]) -> dict[str, Any]:
+    """Map point key -> value, raising :class:`SweepError` on any failure.
+
+    Benchmarks use this to fail fast with every failed point named,
+    instead of crashing on the first ``None`` value downstream.
+    """
+    failures = [r for r in results if not r.ok]
+    if failures:
+        raise SweepError(failures)
+    return {r.key: r.value for r in results}

@@ -49,7 +49,7 @@ class FaultyTransfer(Exception):
         self.busy_until = busy_until
 
 
-@dataclass
+@dataclass(slots=True)
 class Channel:
     """A FIFO bandwidth resource.
 
@@ -123,7 +123,7 @@ class Channel:
         return min(1.0, self._busy_time / elapsed)
 
 
-@dataclass
+@dataclass(slots=True)
 class ChannelPair:
     """A staged, streaming transfer over two channels (e.g. SSD -> DRAM ->
     HBM over PCIe).

@@ -3,64 +3,111 @@
 Events are ordered by ``(time, sequence_number)`` so that simultaneous
 events fire in scheduling order, making every simulation run exactly
 reproducible for a given seed.
+
+Hot-path notes: the heap stores plain ``(time, seq, event)`` tuples so
+ordering uses C-level tuple comparison instead of a generated dataclass
+``__lt__``; :class:`Event` is a ``__slots__`` class (a million-event replay
+allocates one per scheduled callback); and the queue maintains a live-event
+counter on push/pop/cancel so ``__len__``/``__bool__`` are O(1) instead of
+scanning the heap.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
     ``cancelled`` events stay in the heap but are skipped when popped —
-    O(1) cancellation, standard lazy-deletion pattern.
+    O(1) cancellation, standard lazy-deletion pattern.  Cancelling
+    notifies the owning queue so its live-event counter stays exact.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        _queue: "EventQueue | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self._queue = _queue
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            # Still pending in a queue: one fewer live event.
+            queue._n_live -= 1
+            self._queue = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, seq={self.seq}, "
+            f"cancelled={self.cancelled})"
+        )
 
 
 class EventQueue:
     """A min-heap of events keyed by (time, insertion sequence)."""
 
+    __slots__ = ("_heap", "_next_seq", "_n_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        # Heap entries are (time, seq, event): seq is unique, so the event
+        # object itself is never compared.
+        self._heap: list[tuple[float, int, Event]] = []
+        self._next_seq = 0
+        self._n_live = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._n_live
 
     def __bool__(self) -> bool:
-        return any(not e.cancelled for e in self._heap)
+        return self._n_live > 0
 
     def push(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute time ``time``."""
         if time < 0:
             raise ValueError(f"event time must be >= 0, got {time}")
-        event = Event(time=time, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        event = Event(time, seq, callback, False, self)
+        heapq.heappush(self._heap, (time, seq, event))
+        self._n_live += 1
         return event
 
     def pop(self) -> Event | None:
         """Remove and return the earliest live event, or None if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                self._n_live -= 1
+                # Out of the heap: a late cancel() must not decrement again.
+                event._queue = None
                 return event
         return None
 
     def peek_time(self) -> float | None:
-        """Time of the earliest live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        """Time of the earliest live event without removing it.
+
+        Cancelled events at the heap top are discarded here; they were
+        already subtracted from the live counter when cancelled, so this
+        cleanup never touches ``__len__``.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

@@ -40,7 +40,6 @@ from .policy import (
     QueueView,
     SchedulerAwarePolicy,
 )
-from .prefetch import WindowEntry, plan_prefetches
 from .tier import StorageTier
 
 
@@ -56,7 +55,7 @@ class LookupStatus(str, Enum):
     MISS_CORRUPT = "miss-corrupt"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LookupResult:
     """Outcome of a cache lookup for a resuming session."""
 
@@ -114,6 +113,14 @@ def make_policy(
 
 _EMPTY_QUEUE = EmptyQueueView()
 
+#: Lookup status by residency tier (module-level: the lookup hot path must
+#: not rebuild this mapping on every call).
+_STATUS_BY_TIER = {
+    Tier.HBM: LookupStatus.HIT_HBM,
+    Tier.DRAM: LookupStatus.HIT_DRAM,
+    Tier.DISK: LookupStatus.HIT_DISK,
+}
+
 
 class AttentionStore:
     """Hierarchical KV cache for multi-turn conversation sessions."""
@@ -142,6 +149,11 @@ class AttentionStore:
         self.hbm_tier = StorageTier(Tier.HBM, config.hbm_cache_bytes, config.block_bytes)
         self.dram_tier = StorageTier(Tier.DRAM, config.dram_bytes, config.block_bytes)
         self.disk_tier = StorageTier(Tier.DISK, config.ssd_bytes, config.block_bytes)
+        self._tiers = {
+            Tier.HBM: self.hbm_tier,
+            Tier.DRAM: self.dram_tier,
+            Tier.DISK: self.disk_tier,
+        }
         self.policy = make_policy(config.policy)
         self.stats = StoreStats()
         self._items: dict[int, KVCacheItem] = {}
@@ -192,11 +204,7 @@ class AttentionStore:
         )
 
     def _tier_of(self, item: KVCacheItem) -> StorageTier:
-        return {
-            Tier.HBM: self.hbm_tier,
-            Tier.DRAM: self.dram_tier,
-            Tier.DISK: self.disk_tier,
-        }[item.tier]
+        return self._tiers[item.tier]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -229,12 +237,8 @@ class AttentionStore:
             self.drop(session_id)
             return LookupResult(LookupStatus.MISS)
         item.touch(now)
-        self._tier_of(item).touch(session_id)
-        status = {
-            Tier.HBM: LookupStatus.HIT_HBM,
-            Tier.DRAM: LookupStatus.HIT_DRAM,
-            Tier.DISK: LookupStatus.HIT_DISK,
-        }[item.tier]
+        self._tiers[item.tier].touch(session_id)
+        status = _STATUS_BY_TIER[item.tier]
         ready = item.dram_ready_at if item.tier is Tier.DRAM else 0.0
         return LookupResult(
             status=status,
@@ -253,7 +257,7 @@ class AttentionStore:
         now: float,
         queue: QueueView = _EMPTY_QUEUE,
         position_decoupled: bool = True,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         """Store (or replace) a session's KV cache in DRAM.
 
@@ -334,7 +338,7 @@ class AttentionStore:
         n_tokens: int,
         now: float,
         queue: QueueView = _EMPTY_QUEUE,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         """Retain a session's KV directly in the HBM cache tier (Figure 24's
         HBM-only/HBM+DRAM baselines).  When the HBM tier is full its
@@ -379,7 +383,7 @@ class AttentionStore:
         n_tokens: int,
         now: float,
         queue: QueueView = _EMPTY_QUEUE,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         """Demote an HBM-cached session to DRAM/disk (dropping it when no
         lower tier is configured)."""
@@ -477,7 +481,7 @@ class AttentionStore:
         ready_at: float = 0.0,
         position_decoupled: bool = True,
         queue: QueueView = _EMPTY_QUEUE,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         """Admit a cache migrated from a peer store into DRAM.
 
@@ -512,7 +516,7 @@ class AttentionStore:
         n_bytes: int,
         queue: QueueView,
         now: float,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> bool:
         """Evict DRAM items to disk until ``n_bytes`` fit (plus buffer)."""
         self._sync_policy_window()
@@ -537,7 +541,7 @@ class AttentionStore:
         item: KVCacheItem,
         queue: QueueView,
         now: float,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> bool:
         """Move one item DRAM -> disk, evicting from disk if needed."""
         if self.disk_tier.capacity_bytes == 0:
@@ -635,7 +639,7 @@ class AttentionStore:
         self,
         queue: QueueView,
         now: float,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> list[tuple[int, float]]:
         """Scheduler-aware fetching of upcoming jobs' KV from disk to DRAM.
 
@@ -644,48 +648,79 @@ class AttentionStore:
         """
         if not self.config.enable_prefetch or len(queue) == 0:
             return []
-        if len(self.disk_tier) == 0:
+        disk_ids = self.disk_tier.session_ids()
+        if not disk_ids:
             return []
         if not self.ssd_available(now):
             # SSD breaker open: DRAM-only operation until a probe recovers.
             return []
 
-        def residency(session_id: int) -> WindowEntry | None:
-            item = self._items.get(session_id)
-            if item is None or not item.valid:
-                return None
-            fetchable = item.tier is Tier.DISK and not item.fetch_in_flight
-            return WindowEntry(n_bytes=item.n_bytes, on_disk=fetchable)
-
         # DRAM occupied by pinned (actively serving) sessions is not
         # available to the look-ahead window.
         pinned_bytes = 0
+        items = self._items
         for session_id in pinned:
-            item = self._items.get(session_id)
+            item = items.get(session_id)
             if item is not None and item.tier is Tier.DRAM:
                 pinned_bytes += item.n_bytes
         budget = int(
             max(0, self.dram_tier.capacity_bytes - pinned_bytes)
             * self.config.prefetch_capacity_fraction
         )
-        decisions = plan_prefetches(
-            queue=queue,
-            residency=residency,
-            prefetch_budget_bytes=budget,
-            avg_item_bytes=self.avg_item_bytes,
-        )
+        if budget <= 0:
+            return []
+        window_len = max(1, int(budget / max(self.avg_item_bytes, 1.0)))
+
+        # Materialise the window once: the fast guard and the budget walk
+        # both traverse it, and a list comprehension (or a view's slice)
+        # beats two lazy generator passes on this hot path.
+        head_window_list = getattr(queue, "head_window_list", None)
+        if head_window_list is not None:
+            window = head_window_list(window_len)
+        else:
+            window = list(queue.head_window(window_len))
+
+        # Fast guard: the planner can only issue fetches for waiting jobs
+        # whose caches sit on disk.  The engine replans after every queue
+        # push/pop, and in the common case nothing in the window is disk-
+        # resident — skip the budget walk (and its per-entry item
+        # inspection) entirely.  Equivalent to the full plan returning [].
+        # ``disk_ids`` is a dict-keys view, so disjointness runs in C.
+        if disk_ids.isdisjoint(window):
+            return []
+
+        # Budget walk, semantically identical to
+        # :func:`repro.store.prefetch.plan_prefetches` but operating on the
+        # item dict directly — the closure + WindowEntry indirection is the
+        # single hottest allocation site of a full replay.
+        fetch_ids: list[int] = []
+        seen: set[int] = set()
+        for session_id in window:
+            if session_id in seen:
+                continue
+            seen.add(session_id)
+            item = items.get(session_id)
+            if item is None or not item.valid:
+                continue
+            n_bytes = item.n_bytes
+            if n_bytes > budget:
+                break  # window is full; later jobs wait for the next plan
+            budget -= n_bytes
+            if item.tier is Tier.DISK and not item.fetch_in_flight:
+                fetch_ids.append(session_id)
+
         issued: list[tuple[int, float]] = []
-        for decision in decisions:
-            item = self._items.get(decision.session_id)
+        for session_id in fetch_ids:
+            item = items.get(session_id)
             if item is None or item.tier is not Tier.DISK or item.fetch_in_flight:
                 continue  # displaced by an earlier decision's eviction
             # Pin the fetch target: making DRAM room must not evict the
             # very item being fetched (possible when the disk is full and
             # the demotion cascade reaches it).
-            fetch_pinned = pinned | {decision.session_id}
+            fetch_pinned = frozenset(pinned) | {session_id}
             if not self._make_dram_space(item.n_bytes, queue, now, fetch_pinned):
                 continue
-            item = self._items.get(decision.session_id)
+            item = items.get(session_id)
             if item is None or item.tier is not Tier.DISK:
                 continue
             self.disk_tier.remove(item.session_id)

@@ -22,7 +22,7 @@ class Tier(str, Enum):
     DISK = "disk"
 
 
-@dataclass
+@dataclass(slots=True)
 class KVCacheItem:
     """Metadata for one session's stored KV cache.
 

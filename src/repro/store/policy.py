@@ -13,7 +13,8 @@ sorting the full resident set on every eviction.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Iterator, Protocol, runtime_checkable
+from itertools import islice
+from typing import AbstractSet, Iterable, Iterator, Protocol, runtime_checkable
 
 from .item import KVCacheItem
 from .tier import StorageTier
@@ -45,6 +46,9 @@ class EmptyQueueView:
     def head_window(self, k: int) -> Iterator[int]:
         return iter(())
 
+    def head_window_list(self, k: int) -> list[int]:
+        return []
+
     def tail_window(self, k: int) -> Iterator[int]:
         return iter(())
 
@@ -67,14 +71,22 @@ class ListQueueView:
     def head_window(self, k: int) -> Iterator[int]:
         return iter(self._ids[:k])
 
+    def head_window_list(self, k: int) -> list[int]:
+        return self._ids[:k]
+
     def tail_window(self, k: int) -> Iterator[int]:
-        return iter(self._ids[::-1][:k])
+        # Slice the last k directly instead of reversing the whole list
+        # first (O(k), not O(n)).  -0 would slice the entire list, so an
+        # empty window needs its own exit.
+        if k <= 0:
+            return iter(())
+        return reversed(self._ids[-k:])
 
     def __len__(self) -> int:
         return len(self._ids)
 
 
-def _evictable(item: KVCacheItem, pinned: frozenset[int]) -> bool:
+def _evictable(item: KVCacheItem, pinned: AbstractSet[int]) -> bool:
     return item.session_id not in pinned and not item.fetch_in_flight
 
 
@@ -88,7 +100,7 @@ class EvictionPolicy(ABC):
         self,
         tier: StorageTier,
         queue: QueueView,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         """Return the next item to evict from ``tier``, or None if every
         resident item is pinned or in flight."""
@@ -103,7 +115,7 @@ class LRUPolicy(EvictionPolicy):
         self,
         tier: StorageTier,
         queue: QueueView,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         for item in tier.iter_lru():
             if _evictable(item, pinned):
@@ -120,7 +132,7 @@ class FIFOPolicy(EvictionPolicy):
         self,
         tier: StorageTier,
         queue: QueueView,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         for item in tier.iter_fifo():
             if _evictable(item, pinned):
@@ -160,7 +172,7 @@ class SchedulerAwarePolicy(EvictionPolicy):
         self,
         tier: StorageTier,
         queue: QueueView,
-        pinned: frozenset[int] = frozenset(),
+        pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         limit = self.window_limit if self.window_limit is not None else len(queue)
         # Pass 1: oldest items without a queued job inside the window.
@@ -180,9 +192,11 @@ class SchedulerAwarePolicy(EvictionPolicy):
         # Pass 2: every scanned candidate has a job inside the window —
         # the paper scans the window tail-to-head, i.e. the resident item
         # whose job is furthest in the future goes first.  Finish the exact
-        # scan over the whole tier when the bounded pass missed items.
+        # scan over the whole tier when the bounded pass missed items,
+        # resuming past the prefix pass 1 already examined instead of
+        # re-scanning it from the tier head.
         if len(tier) > self.scan_limit:
-            for item in tier.iter_lru():
+            for item in islice(tier.iter_lru(), self.scan_limit, None):
                 if not _evictable(item, pinned):
                     continue
                 pos = queue.position(item.session_id)

@@ -20,7 +20,7 @@ from typing import Callable
 from .policy import QueueView
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PrefetchDecision:
     """One planned disk -> DRAM fetch."""
 
@@ -29,7 +29,7 @@ class PrefetchDecision:
     queue_position: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WindowEntry:
     """Residency of one waiting job's KV cache, as seen by the planner.
 

@@ -37,6 +37,10 @@ class StorageTier:
     def get(self, session_id: int) -> KVCacheItem | None:
         return self._fifo.get(session_id)
 
+    def session_ids(self):
+        """Live view of resident session ids (O(1) membership tests)."""
+        return self._fifo.keys()
+
     def iter_fifo(self) -> Iterator[KVCacheItem]:
         """Resident items, earliest tier arrival first."""
         return iter(self._fifo.values())

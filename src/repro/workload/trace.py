@@ -20,7 +20,7 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Turn:
     """One conversation turn: a user message and the model's response.
 
@@ -48,7 +48,7 @@ class Turn:
         return self.q_tokens + self.a_tokens
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Conversation:
     """A multi-turn conversation session.
 

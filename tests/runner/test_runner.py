@@ -1,0 +1,148 @@
+"""Tests for the deterministic parallel sweep runner.
+
+Workers live at module level: the spawn start method pickles them by
+reference, so closures and lambdas cannot cross the process boundary.
+"""
+
+import os
+
+import pytest
+
+from repro.config import EngineConfig, HardwareConfig, StoreConfig
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.runner import (
+    PointResult,
+    SweepError,
+    SweepPoint,
+    in_sweep_worker,
+    run_sweep,
+    seed_for,
+    unwrap,
+)
+from repro.workload import WorkloadSpec, generate_trace
+
+
+def echo_worker(point, seed):
+    return (point.key, point.params, seed, in_sweep_worker())
+
+
+def failing_worker(point, seed):
+    if point.params == "boom":
+        raise RuntimeError(f"exploded on {point.key}")
+    return point.key
+
+
+def crashing_worker(point, seed):
+    if point.params == "die":
+        os._exit(13)  # simulate an OOM-killed / segfaulted worker
+    return point.key
+
+
+def serving_worker(point, seed):
+    """One tiny end-to-end serving run (the determinism payload)."""
+    model = get_model("llama-13b")
+    engine = ServingEngine(
+        model,
+        hardware=HardwareConfig().for_model(model),
+        engine_config=EngineConfig(batch_size=model.default_batch_size),
+        store_config=StoreConfig(),
+        warmup_turns=10,
+    )
+    trace = generate_trace(WorkloadSpec(n_sessions=point.params, seed=7))
+    result = engine.run(trace)
+    return (result.summary, result.store_stats, result.events_processed)
+
+
+class TestSeedFor:
+    def test_deterministic(self):
+        assert seed_for(42, "a") == seed_for(42, "a")
+
+    def test_distinct_points_distinct_seeds(self):
+        seeds = {seed_for(0, f"point-{i}") for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_distinct_base_seeds_distinct_streams(self):
+        assert seed_for(0, "a") != seed_for(1, "a")
+
+    def test_range(self):
+        for i in range(20):
+            assert 0 <= seed_for(i, str(i)) < 2**63
+
+
+class TestRunSweepInline:
+    def test_results_in_point_order(self):
+        points = [SweepPoint(f"p{i}", i) for i in range(5)]
+        results = run_sweep(echo_worker, points, jobs=1)
+        assert [r.key for r in results] == [p.key for p in points]
+        assert all(r.ok for r in results)
+
+    def test_worker_receives_derived_seed(self):
+        [result] = run_sweep(echo_worker, [SweepPoint("k", None)], base_seed=9)
+        _, _, seed, in_worker = result.value
+        assert seed == seed_for(9, "k")
+        assert not in_worker  # inline execution stays in this process
+
+    def test_exception_contained_per_point(self):
+        points = [SweepPoint("ok1", 1), SweepPoint("bad", "boom"), SweepPoint("ok2", 2)]
+        results = run_sweep(failing_worker, points, jobs=1)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "exploded on bad" in results[1].error
+        assert results[0].value == "ok1" and results[2].value == "ok2"
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_sweep(echo_worker, [SweepPoint("a"), SweepPoint("a")])
+
+    def test_unwrap_raises_with_all_failures_named(self):
+        results = [
+            PointResult("good", value=1),
+            PointResult("bad1", error="Traceback ...\nRuntimeError: x"),
+            PointResult("bad2", error="Traceback ...\nRuntimeError: y"),
+        ]
+        with pytest.raises(SweepError, match="bad1") as exc_info:
+            unwrap(results)
+        assert "bad2" in str(exc_info.value)
+        assert unwrap(results[:1]) == {"good": 1}
+
+
+class TestRunSweepParallel:
+    def test_results_ordered_and_seeded_like_inline(self):
+        points = [SweepPoint(f"p{i}", i) for i in range(4)]
+        inline = run_sweep(echo_worker, points, jobs=1, base_seed=3)
+        parallel = run_sweep(echo_worker, points, jobs=2, base_seed=3)
+        assert [r.key for r in parallel] == [r.key for r in inline]
+        for par, ser in zip(parallel, inline):
+            # Same params, same derived seed; only the worker flag differs.
+            assert par.value[:3] == ser.value[:3]
+            assert par.value[3]  # ran inside a sweep worker process
+
+    def test_worker_exception_contained(self):
+        points = [SweepPoint("ok", 1), SweepPoint("bad", "boom")]
+        results = run_sweep(failing_worker, points, jobs=2)
+        assert results[0].ok and results[0].value == "ok"
+        assert not results[1].ok and "exploded on bad" in results[1].error
+
+    def test_worker_process_death_surfaces_as_error(self):
+        """A dying worker must become a per-point error, not a hang."""
+        points = [SweepPoint("dies", "die"), SweepPoint("fine", 1)]
+        results = run_sweep(crashing_worker, points, jobs=2)
+        assert [r.key for r in results] == ["dies", "fine"]
+        dead = results[0]
+        assert not dead.ok and "crashed" in dead.error
+
+
+class TestSweepDeterminism:
+    def test_serving_runs_bit_identical_across_job_counts(self):
+        """jobs=1 (inline) vs jobs=4 (process pool): identical RunSummary,
+        store stats and event counts for every point."""
+        points = [SweepPoint(f"sessions={n}", n) for n in (12, 16, 20)]
+        inline = unwrap(run_sweep(serving_worker, points, jobs=1))
+        parallel = unwrap(run_sweep(serving_worker, points, jobs=4))
+        assert inline.keys() == parallel.keys()
+        for key in inline:
+            summary_1, stats_1, events_1 = inline[key]
+            summary_4, stats_4, events_4 = parallel[key]
+            assert summary_1 == summary_4, key
+            assert stats_1 == stats_4, key
+            assert events_1 == events_4, key

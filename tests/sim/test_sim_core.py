@@ -79,6 +79,118 @@ class TestEventQueue:
         assert popped == sorted(times)
 
 
+class TestEventQueueLiveCounter:
+    """``__len__``/``__bool__`` come from a live-event counter maintained
+    on push/pop/cancel; these interleavings pin down the bookkeeping that
+    lazy deletion makes easy to get wrong (cancelled events linger in the
+    heap, and ``peek_time`` discards them as a side effect)."""
+
+    def test_cancel_then_peek_then_len(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        first.cancel()
+        assert len(q) == 1
+        # peek_time pops the cancelled heap top; the counter already
+        # accounted for it at cancel time and must not move again.
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+        assert bool(q)
+
+    def test_peek_then_cancel_then_len(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.peek_time() == 1.0
+        first.cancel()
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+
+    def test_double_cancel_decrements_once(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_underflow(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is event
+        # The event left the queue when popped; a late cancel is a no-op
+        # on the counter.
+        event.cancel()
+        assert len(q) == 1
+        assert q.pop() is not None
+        assert len(q) == 0
+        assert not q
+
+    def test_cancel_all_then_peek_empties(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(5)]
+        for event in events:
+            event.cancel()
+        assert len(q) == 0
+        assert not q
+        assert q.peek_time() is None
+        assert q.pop() is None
+        assert len(q) == 0
+
+    def test_interleaved_cancel_peek_pop_matches_count(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(10)]
+        for event in events[::2]:
+            event.cancel()
+        assert len(q) == 5
+        assert q.peek_time() == 1.0
+        assert len(q) == 5
+        popped = []
+        while q:
+            popped.append(q.pop().time)
+        assert popped == [1.0, 3.0, 5.0, 7.0, 9.0]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["push", "pop", "peek", "cancel"]),
+                st.floats(min_value=0, max_value=100),
+            ),
+            max_size=80,
+        )
+    )
+    def test_len_matches_reference_model(self, ops):
+        """Counter-based len always equals the number of live events."""
+        q = EventQueue()
+        live: list = []  # reference: events pushed, not popped/cancelled
+        pushed: list = []
+        for op, t in ops:
+            if op == "push":
+                pushed.append(q.push(t, lambda: None))
+                live.append(pushed[-1])
+            elif op == "pop":
+                was_empty = not live
+                event = q.pop()
+                assert (event is None) == was_empty
+                if event is not None:
+                    assert event is min(live, key=lambda e: (e.time, e.seq))
+                    live.remove(event)
+            elif op == "peek":
+                time = q.peek_time()
+                if live:
+                    assert time == min(e.time for e in live)
+                else:
+                    assert time is None
+            elif op == "cancel" and pushed:
+                victim = pushed[int(t) % len(pushed)]
+                victim.cancel()
+                if victim in live:
+                    live.remove(victim)
+            assert len(q) == len(live)
+            assert bool(q) == bool(live)
+
+
 class TestSimulator:
     def test_runs_in_order(self):
         sim = Simulator()
