@@ -89,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="O(1)-memory metrics (p95 TTFT becomes a <=0.5%% estimate)",
         )
+        p.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="run under SimSan: assert per-event invariants (clock "
+            "monotonicity, store accounting, exactly-one-copy, HBM "
+            "occupancy); equivalent to REPRO_SANITIZE=1",
+        )
 
     run = sub.add_parser("run", help="serve a trace")
     add_serving_args(run)
@@ -162,6 +169,18 @@ def build_parser() -> argparse.ArgumentParser:
     cap.add_argument("--ttl", type=float, default=3600.0)
 
     sub.add_parser("models", help="list registered model specs")
+
+    lint = sub.add_parser(
+        "lint",
+        help="simulator-specific static analysis (determinism, float "
+        "safety, slots hygiene, cluster isolation, typing)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
     return parser
 
 
@@ -202,6 +221,7 @@ def _build_engine(args: argparse.Namespace, mode: ServingMode) -> ServingEngine:
         warmup_turns=args.warmup_turns,
         fault_config=fault_config,
         streaming_metrics=getattr(args, "streaming_metrics", False),
+        sanitize=True if getattr(args, "sanitize", False) else None,
     )
 
 
@@ -237,6 +257,7 @@ def _build_cluster(args: argparse.Namespace, mode: ServingMode) -> ClusterEngine
         warmup_turns=args.warmup_turns,
         fault_config=fault_config,
         streaming_metrics=getattr(args, "streaming_metrics", False),
+        sanitize=True if getattr(args, "sanitize", False) else None,
     )
 
 
@@ -478,6 +499,13 @@ def cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run repro-lint over the given paths (exit 1 on findings)."""
+    from .lint.checker import run_lint
+
+    return run_lint(list(args.paths))
+
+
 COMMANDS = {
     "workload": cmd_workload,
     "run": cmd_run,
@@ -485,6 +513,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "capacity": cmd_capacity,
     "models": cmd_models,
+    "lint": cmd_lint,
 }
 
 

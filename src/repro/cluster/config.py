@@ -31,7 +31,7 @@ class RouterName(str, Enum):
     AFFINITY = "affinity"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClusterConfig:
     """Sizing and routing knobs for a serving cluster.
 

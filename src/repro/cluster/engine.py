@@ -17,6 +17,7 @@ replica 0" and the cluster reproduces a standalone engine bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Callable
 
 from ..config import EngineConfig, HardwareConfig, ServingMode, StoreConfig
 from ..engine.engine import RunResult, ServingEngine, TurnCounter
@@ -24,6 +25,7 @@ from ..engine.metrics import MetricsCollector, RunSummary
 from ..engine.session import SessionState
 from ..faults import FaultConfig
 from ..models import ModelSpec
+from ..sanitize import install_cluster, sanitize_enabled
 from ..sim.channel import Channel, ChannelPair, FaultyTransfer
 from ..sim.loop import Simulator
 from ..store.item import Tier
@@ -32,7 +34,7 @@ from .config import ClusterConfig, RouterName
 from .router import make_router
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClusterResult:
     """Aggregate outcome of one cluster serving run.
 
@@ -85,6 +87,7 @@ class ClusterEngine:
         warmup_turns: int = 0,
         fault_config: FaultConfig | None = None,
         streaming_metrics: bool = False,
+        sanitize: bool | None = None,
     ) -> None:
         self.cluster = cluster or ClusterConfig()
         n = self.cluster.n_instances
@@ -136,6 +139,9 @@ class ClusterEngine:
         # affinity router's cache-placement oracle (KV lives in at most
         # one store, and always the home replica's).
         self._home: dict[int, int] = {}
+        self.sanitized = sanitize if sanitize is not None else sanitize_enabled()
+        if self.sanitized:
+            install_cluster(self)
 
     def _partition_store(
         self, base: StoreConfig | None, n_instances: int
@@ -189,7 +195,7 @@ class ClusterEngine:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _arrival_starter(self, conv: Conversation):
+    def _arrival_starter(self, conv: Conversation) -> Callable[[], None]:
         def start() -> None:
             index = self.router.route(conv.session_id, None)
             self._home[conv.session_id] = index
@@ -226,9 +232,7 @@ class ClusterEngine:
         if source.store is None or target.store is None:
             return
         if self.router.name is not RouterName.AFFINITY:
-            if source.store.get(session_id) is not None:
-                source.store.drop(session_id)
-                source.store.stats.scatter_drops += 1
+            source.store.discard_stale(session_id)
             return
         item = source.store.extract(session_id)
         if item is None:
@@ -242,7 +246,7 @@ class ClusterEngine:
         except FaultyTransfer:
             # The migrating copy is lost in transit; the next turn
             # recomputes its history at the target (graceful degradation).
-            source.store.stats.transfer_faults += 1
+            source.store.record_migration_loss()
             return
         target.store.admit_migrated(
             session_id,

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from enum import Enum
+from typing import Any
 
 from .models import GiB, MiB, TiB, ModelSpec
 
@@ -236,9 +237,9 @@ class EngineConfig:
             raise ValueError("buffer layer counts must be non-negative")
 
     @classmethod
-    def recompute_baseline(cls, **overrides) -> "EngineConfig":
+    def recompute_baseline(cls, **overrides: Any) -> "EngineConfig":
         """The RE baseline: no KV reuse, token truncation on overflow."""
-        defaults = dict(
+        defaults: dict[str, Any] = dict(
             mode=ServingMode.RECOMPUTE,
             truncation=TruncationPolicyName.TOKEN,
         )

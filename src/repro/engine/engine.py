@@ -31,6 +31,7 @@ from ..config import (
 from ..faults import FaultConfig, FaultInjector
 from ..hardware.perf import PerfModel
 from ..models import ModelSpec
+from ..sanitize import install_engine, sanitize_enabled
 from ..sim.channel import Channel, ChannelPair, FaultyTransfer
 from ..sim.loop import Simulator
 from ..store.attention_store import AttentionStore, LookupStatus, StoreStats
@@ -50,7 +51,7 @@ from .session import SessionState
 from .truncation import apply_context_window, clamp_decode_tokens
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RunResult:
     """Everything a benchmark needs from one serving run."""
 
@@ -106,6 +107,7 @@ class ServingEngine:
         ssd: Channel | None = None,
         turn_counter: TurnCounter | None = None,
         name: str = "engine",
+        sanitize: bool | None = None,
     ) -> None:
         self.model = model
         self.name = name
@@ -166,6 +168,9 @@ class ServingEngine:
         # A cluster installs a hook here to route each session's next turn
         # (possibly to a different replica) instead of resubmitting locally.
         self.next_turn_hook: Callable[[ServingEngine, SessionState], None] | None = None
+        self.sanitized = sanitize if sanitize is not None else sanitize_enabled()
+        if self.sanitized:
+            install_engine(self)
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -266,7 +271,7 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Arrival path
     # ------------------------------------------------------------------
-    def _session_starter(self, conv: Conversation):
+    def _session_starter(self, conv: Conversation) -> Callable[[], None]:
         def start() -> None:
             session = SessionState(conversation=conv)
             self.sessions[conv.session_id] = session
@@ -377,17 +382,19 @@ class ServingEngine:
             self.perf.prefill_time(new_tokens, reused)
             / self.config.prefill_efficiency_factor
         )
-        if load_time == 0.0:
-            duration = compute_time
-        elif self.config.enable_preload:
-            duration = layerwise_prefill_time(
-                self.model.n_layers,
-                compute_time,
-                load_time,
-                self.config.read_buffer_layers,
-            )
+        if load_time > 0.0:
+            if self.config.enable_preload:
+                duration = layerwise_prefill_time(
+                    self.model.n_layers,
+                    compute_time,
+                    load_time,
+                    self.config.read_buffer_layers,
+                )
+            else:
+                duration = no_preload_prefill_time(compute_time, load_time)
         else:
-            duration = no_preload_prefill_time(compute_time, load_time)
+            # Nothing to load (cold turn or HBM-cache hit): pure compute.
+            duration = compute_time
 
         generate = clamp_decode_tokens(
             prompt, request.a_tokens, self.model.context_window
@@ -533,7 +540,7 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
-    def _start_decode_chunk(self, resume=None) -> None:
+    def _start_decode_chunk(self, resume: Callable[[], None] | None = None) -> None:
         """Run up to ``decode_chunk_iters`` iterations; afterwards call
         ``resume`` (a paused chunked prefill) or re-enter dispatch."""
         n_iters = min(self.config.decode_chunk_iters, self.batch.min_remaining())
@@ -548,7 +555,11 @@ class ServingEngine:
         )
 
     def _on_decode_chunk_done(
-        self, n_iters: int, duration: float, batch_len: int, resume=None
+        self,
+        n_iters: int,
+        duration: float,
+        batch_len: int,
+        resume: Callable[[], None] | None = None,
     ) -> None:
         self._gpu_release()
         share = duration / batch_len
@@ -570,7 +581,7 @@ class ServingEngine:
         else:
             self._dispatch()
 
-    def _on_save_block_done(self, resume=None) -> None:
+    def _on_save_block_done(self, resume: Callable[[], None] | None = None) -> None:
         self._gpu_release()
         if resume is not None:
             resume()

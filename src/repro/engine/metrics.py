@@ -86,7 +86,7 @@ class TurnRecord:
         return self.prefill_gpu_time + self.decode_gpu_share + self.save_block_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RunSummary:
     """Aggregated results of one serving run (over the evaluation window,
     except where noted)."""

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 from ..workload.trace import Conversation
 
 
-@dataclass
+@dataclass(slots=True)
 class SessionState:
     """Mutable per-session serving state.
 

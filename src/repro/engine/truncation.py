@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TruncationOutcome:
     """Result of applying the context-window policy to a turn's prompt."""
 

@@ -1,0 +1,34 @@
+"""repro.lint: simulator-specific static analysis.
+
+The reproduction's credibility rests on properties ordinary linters do not
+check: bit-identical determinism (no wall clocks, no unseeded randomness,
+no hash/set-ordering leaks into ordered state), float safety on the hot
+paths that accumulate simulated time, allocation hygiene (``slots`` on
+hot-path dataclasses) and the cluster-isolation contract (a replica's
+AttentionStore may only be touched by foreign code through the migration
+API).  This package turns those implicit contracts into machine-checked
+ones: an AST pass over ``src/repro`` with rules catalogued in
+:mod:`repro.lint.rules`, driven by :func:`lint_paths`.
+
+Run it as ``python -m repro.cli lint src/repro`` (or ``python -m
+repro.lint src/repro``); configuration lives in ``[tool.repro-lint]`` in
+``pyproject.toml``.  Suppressions are inline and must carry a
+justification: ``# repro-lint: allow=<rule> (<why this is safe>)``.
+"""
+
+from __future__ import annotations
+
+from .checker import lint_paths, lint_source
+from .config import LintConfig, load_config
+from .diagnostics import Diagnostic
+from .rules import RULES, Rule
+
+__all__ = [
+    "Diagnostic",
+    "LintConfig",
+    "RULES",
+    "Rule",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.lint [paths...]``."""
+
+from __future__ import annotations
+
+import sys
+
+from .checker import run_lint
+
+if __name__ == "__main__":
+    sys.exit(run_lint())

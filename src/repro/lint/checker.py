@@ -1,0 +1,175 @@
+"""File walking, suppression handling and the public lint entry points."""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .config import LintConfig, load_config
+from .diagnostics import Diagnostic
+from .rules import RULES, RULES_BY_NAME
+
+#: Inline suppression: ``# repro-lint: allow=<rule>[,<rule>...] (<why>)``.
+#: The parenthesised justification is mandatory — a suppression that cannot
+#: say why it is safe is itself a finding (``bare-allow``).
+_ALLOW_RE = re.compile(
+    r"#\s*repro-lint:\s*allow=(?P<rules>[a-z0-9,-]+)"
+    r"(?:\s*\((?P<why>[^)]*)\))?"
+)
+
+BARE_ALLOW = "bare-allow"
+
+
+class Suppressions:
+    """Per-file map of line number -> allowed rule names."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.by_line: dict[int, frozenset[str]] = {}
+        self.bare: list[Diagnostic] = []
+        self.unknown: list[Diagnostic] = []
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            rules = frozenset(
+                name for name in match.group("rules").split(",") if name
+            )
+            why = (match.group("why") or "").strip()
+            if not why:
+                self.bare.append(
+                    Diagnostic(
+                        path,
+                        lineno,
+                        match.start(),
+                        BARE_ALLOW,
+                        "suppression without a justification; write "
+                        "`# repro-lint: allow=<rule> (<why this is safe>)`",
+                    )
+                )
+                continue
+            for name in rules:
+                if name not in RULES_BY_NAME:
+                    self.unknown.append(
+                        Diagnostic(
+                            path,
+                            lineno,
+                            match.start(),
+                            BARE_ALLOW,
+                            f"suppression names unknown rule '{name}'",
+                        )
+                    )
+            self.by_line[lineno] = rules
+
+    def allows(self, line: int, rule: str) -> bool:
+        allowed = self.by_line.get(line)
+        return allowed is not None and rule in allowed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str = "",
+    config: LintConfig | None = None,
+) -> list[Diagnostic]:
+    """Lint one module given as text.
+
+    ``module`` is the dotted module name used for scope decisions; tests
+    pass it explicitly to pull fixture snippets into (or out of) the
+    hot-path/cluster scopes.
+    """
+    cfg = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno if exc.lineno is not None else 1
+        col = exc.offset if exc.offset is not None else 0
+        return [Diagnostic(path, line, col, "syntax-error", str(exc.msg))]
+    suppressions = Suppressions(path, source)
+    diagnostics: list[Diagnostic] = [*suppressions.bare, *suppressions.unknown]
+    for rule in RULES:
+        if rule.name in cfg.disable:
+            continue
+        if not rule.applies_to(module, cfg):
+            continue
+        for finding in rule.check(tree, module, cfg):
+            if suppressions.allows(finding.line, rule.name):
+                continue
+            diagnostics.append(
+                Diagnostic(path, finding.line, finding.col, rule.name, finding.message)
+            )
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics
+
+
+def module_name_for(path: Path) -> str:
+    """Infer the dotted module name from a file path.
+
+    Anchors on the last ``repro`` path component so both installed layouts
+    and the in-repo ``src/repro`` tree resolve to ``repro.<...>`` names.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        mod_parts = parts[idx:]
+    else:
+        mod_parts = [parts[-1]]
+    if mod_parts and mod_parts[-1] == "__init__":
+        mod_parts = mod_parts[:-1]
+    return ".".join(mod_parts) if mod_parts else path.stem
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every .py file under ``paths`` in sorted order."""
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path], config: LintConfig | None = None
+) -> list[Diagnostic]:
+    """Lint files/trees; loads ``[tool.repro-lint]`` when no config given."""
+    path_list = [Path(p) for p in paths]
+    cfg = config
+    if cfg is None:
+        start = path_list[0] if path_list else Path.cwd()
+        cfg = load_config(start)
+    diagnostics: list[Diagnostic] = []
+    for file_path in iter_python_files(path_list):
+        source = file_path.read_text(encoding="utf-8")
+        diagnostics.extend(
+            lint_source(
+                source,
+                path=str(file_path),
+                module=module_name_for(file_path),
+                config=cfg,
+            )
+        )
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics
+
+
+def run_lint(argv: list[str] | None = None) -> int:
+    """CLI entry: lint the given paths, print a report, return exit status."""
+    import argparse
+
+    from .diagnostics import format_report
+
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="simulator-specific static analysis over src/repro",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+    diagnostics = lint_paths([Path(p) for p in args.paths])
+    print(format_report(diagnostics))
+    return 1 if diagnostics else 0

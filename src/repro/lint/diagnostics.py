@@ -1,0 +1,43 @@
+"""Lint findings and their presentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One lint finding, anchored to a source location.
+
+    ``rule`` is the rule's kebab-case name (e.g. ``"wall-clock"``);
+    ``message`` states the violation and, where useful, the fix.
+    Diagnostics order by location so reports are stable regardless of the
+    rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Render as a ``path:line:col: [rule] message`` report line."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def format_report(diagnostics: list[Diagnostic]) -> str:
+    """Render a full report: sorted findings plus a per-rule tally."""
+    if not diagnostics:
+        return "repro-lint: clean"
+    ordered = sorted(diagnostics, key=Diagnostic.sort_key)
+    lines = [diag.format() for diag in ordered]
+    tally: dict[str, int] = {}
+    for diag in ordered:
+        tally[diag.rule] = tally.get(diag.rule, 0) + 1
+    summary = ", ".join(f"{rule}: {count}" for rule, count in sorted(tally.items()))
+    lines.append(f"repro-lint: {len(ordered)} finding(s) ({summary})")
+    return "\n".join(lines)

@@ -23,6 +23,7 @@ Two kinds of documents:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -201,7 +202,7 @@ def training_batches_padded(
     n_batches: int,
     pad_id: int | None = None,
     seed: int = 0,
-):
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield document-aligned (tokens, targets) batches.
 
     Documents are sampled whole and right-padded to the batch's longest
@@ -230,7 +231,7 @@ def training_batches(
     batch_size: int,
     n_batches: int,
     seed: int = 0,
-):
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield (tokens, targets) batches of shape (B, seq_len) sampled from a
     concatenation of the documents (next-token prediction)."""
     if seq_len <= 0 or batch_size <= 0 or n_batches <= 0:

@@ -63,7 +63,14 @@ def token_nll(logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
     return nll.reshape(targets.shape)
 
 
-def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5):
+#: Saved activations threaded from a forward pass to its backward pass.
+RMSNormCache = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+GeluCache = tuple[np.ndarray, np.ndarray, float]
+
+
+def rmsnorm(
+    x: np.ndarray, weight: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, RMSNormCache]:
     """RMSNorm forward: ``x / rms(x) * weight``.
 
     Returns (output, cache) where cache feeds :func:`rmsnorm_backward`.
@@ -73,7 +80,9 @@ def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5):
     return normed * weight, (x, rms, normed, weight)
 
 
-def rmsnorm_backward(grad: np.ndarray, cache) -> tuple[np.ndarray, np.ndarray]:
+def rmsnorm_backward(
+    grad: np.ndarray, cache: RMSNormCache
+) -> tuple[np.ndarray, np.ndarray]:
     """Gradient of RMSNorm w.r.t. input and weight."""
     x, rms, normed, weight = cache
     d = x.shape[-1]
@@ -85,7 +94,7 @@ def rmsnorm_backward(grad: np.ndarray, cache) -> tuple[np.ndarray, np.ndarray]:
     return dx, dw
 
 
-def gelu(x: np.ndarray):
+def gelu(x: np.ndarray) -> tuple[np.ndarray, GeluCache]:
     """Tanh-approximation GELU forward; returns (output, cache)."""
     c = np.sqrt(2.0 / np.pi)
     inner = c * (x + 0.044715 * x**3)
@@ -93,7 +102,7 @@ def gelu(x: np.ndarray):
     return 0.5 * x * (1.0 + t), (x, t, c)
 
 
-def gelu_backward(grad: np.ndarray, cache) -> np.ndarray:
+def gelu_backward(grad: np.ndarray, cache: GeluCache) -> np.ndarray:
     """Gradient of the tanh-approximation GELU."""
     x, t, c = cache
     dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x**2)

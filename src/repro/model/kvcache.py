@@ -18,6 +18,7 @@ from __future__ import annotations
 from enum import Enum
 
 import numpy as np
+import numpy.typing as npt
 
 
 class PEMode(str, Enum):
@@ -33,7 +34,13 @@ class LayerKVCache:
     Shapes: K and V are (n_heads, S, head_dim), grown along S.
     """
 
-    def __init__(self, n_heads: int, head_dim: int, mode: PEMode, dtype=np.float32):
+    def __init__(
+        self,
+        n_heads: int,
+        head_dim: int,
+        mode: PEMode,
+        dtype: npt.DTypeLike = np.float32,
+    ) -> None:
         self.mode = mode
         self.n_heads = n_heads
         self.head_dim = head_dim
@@ -89,8 +96,8 @@ class KVCache:
         n_heads: int,
         head_dim: int,
         mode: PEMode = PEMode.DECOUPLED,
-        dtype=np.float32,
-    ):
+        dtype: npt.DTypeLike = np.float32,
+    ) -> None:
         if n_layers <= 0:
             raise ValueError(f"n_layers must be positive, got {n_layers}")
         self.mode = mode

@@ -24,6 +24,7 @@ Two substitutes are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -124,7 +125,7 @@ def run_word_recall_benchmark(
     window: int | None = None,
     truncation_ratio: float = 0.5,
     seed: int = 321,
-    **case_kwargs,
+    **case_kwargs: Any,
 ) -> RetrievalBenchResult:
     """Word-recall accuracy of one truncation scheme."""
     window = window or model.config.context_window

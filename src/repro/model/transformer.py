@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from .functional import (
     cross_entropy,
@@ -66,14 +67,19 @@ class ModelConfig:
 class TinyTransformer:
     """Decoder-only transformer with manual forward/backward."""
 
-    def __init__(self, config: ModelConfig, seed: int = 0, dtype=np.float32):
+    def __init__(
+        self,
+        config: ModelConfig,
+        seed: int = 0,
+        dtype: npt.DTypeLike = np.float32,
+    ) -> None:
         self.config = config
         self.dtype = dtype
         rng = np.random.default_rng(seed)
         c = config
         s = c.init_scale
 
-        def w(*shape):
+        def w(*shape: int) -> np.ndarray:
             return (rng.standard_normal(shape) * s).astype(dtype)
 
         self.params: dict[str, np.ndarray] = {"emb": w(c.vocab_size, c.d_model)}

@@ -19,6 +19,9 @@ class Simulator:
         self.clock = SimClock(start)
         self._queue = EventQueue()
         self._events_processed = 0
+        # Observation point for sanitizers (repro.sanitize): called after
+        # each executed event.  One attribute check per event when unset.
+        self.event_hook: Callable[[Event], None] | None = None
 
     @property
     def now(self) -> float:
@@ -70,3 +73,5 @@ class Simulator:
             self.clock.advance_to(event.time)
             event.callback()
             self._events_processed += 1
+            if self.event_hook is not None:
+                self.event_hook(event)

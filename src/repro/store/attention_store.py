@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import AbstractSet, KeysView
 
 from ..config import EvictionPolicyName, StoreConfig
 from ..faults import FaultInjector, TierHealth
@@ -69,7 +70,7 @@ class LookupResult:
         return self.status not in (LookupStatus.MISS, LookupStatus.MISS_CORRUPT)
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreStats:
     """Operational counters (evictions, expiries, prefetches, faults)."""
 
@@ -172,6 +173,11 @@ class AttentionStore:
 
     def __len__(self) -> int:
         return len(self._items)
+
+    def resident_sessions(self) -> KeysView[int]:
+        """Session ids with a cache resident in any tier (insertion order,
+        so iteration is deterministic)."""
+        return self._items.keys()
 
     def get(self, session_id: int) -> KVCacheItem | None:
         return self._items.get(session_id)
@@ -472,6 +478,31 @@ class AttentionStore:
         self.stats.migrations_out += 1
         self.stats.migrated_bytes_out += item.n_bytes
         return item
+
+    def discard_stale(self, session_id: int) -> bool:
+        """Drop the local copy after the session was re-routed elsewhere.
+
+        Part of the migration API (with :meth:`extract` /
+        :meth:`admit_migrated`): locality-oblivious routers call this on
+        the old replica so at most one store ever holds a session's KV —
+        a truncation on the new replica would silently invalidate any
+        remote leftover.  Returns True when a copy was actually dropped
+        (counted as a scatter drop).
+        """
+        if session_id not in self._items:
+            return False
+        self.drop(session_id)
+        self.stats.scatter_drops += 1
+        return True
+
+    def record_migration_loss(self) -> None:
+        """Count a migrating copy lost in transit (faulty inter-host link).
+
+        The extracting side already removed the item; the next turn
+        recomputes its history at the target (graceful degradation), and
+        the loss shows up in ``stats.transfer_faults``.
+        """
+        self.stats.transfer_faults += 1
 
     def admit_migrated(
         self,

@@ -8,7 +8,7 @@ disk tier holds thousands of sessions.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, KeysView
 
 from .block import BlockAllocator
 from .item import KVCacheItem, Tier
@@ -37,7 +37,7 @@ class StorageTier:
     def get(self, session_id: int) -> KVCacheItem | None:
         return self._fifo.get(session_id)
 
-    def session_ids(self):
+    def session_ids(self) -> KeysView[int]:
         """Live view of resident session ids (O(1) membership tests)."""
         return self._fifo.keys()
 

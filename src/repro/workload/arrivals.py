@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -154,7 +155,7 @@ class DiurnalArrivals(ArrivalProcess):
         return times
 
 
-def make_arrival_process(name: str, rate: float, **kwargs) -> ArrivalProcess:
+def make_arrival_process(name: str, rate: float, **kwargs: Any) -> ArrivalProcess:
     """Factory: ``"poisson"``, ``"mmpp"`` or ``"diurnal"``."""
     if name == "poisson":
         return PoissonArrivals(rate=rate, **kwargs)

@@ -6,6 +6,8 @@ paper statistics they are fit to.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .arrivals import ArrivalProcess, PoissonArrivals
@@ -31,7 +33,7 @@ def _draw_turn_counts(rng: np.random.Generator, spec: WorkloadSpec, n: int) -> n
 def generate_trace(
     spec: WorkloadSpec | None = None,
     arrival_process: ArrivalProcess | None = None,
-    **overrides,
+    **overrides: Any,
 ) -> Trace:
     """Generate a synthetic conversation trace.
 

@@ -1,0 +1,11 @@
+"""Fixture: cluster code groping around inside a replica's store.
+
+Linted with module="repro.cluster.fixture" so the isolation scope applies.
+"""
+
+
+def poke(source, target, session_id):  # repro-lint: allow=untyped-def (fixture exercises only the isolation rule)
+    if source.store.get(session_id) is not None:  # lookup bypasses the API
+        source.store.drop(session_id)  # direct drop
+        source.store.stats.scatter_drops += 1  # foreign stats mutation
+    target.store.save(session_id, 10, 0.0)  # direct save

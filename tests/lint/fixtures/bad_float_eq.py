@@ -1,0 +1,12 @@
+"""Fixture: exact float equality on a (nominal) hot path.
+
+Linted with module="repro.engine.fixture" so the float-eq scope applies.
+"""
+
+
+def prefill_done(load_time: float, elapsed: float) -> bool:
+    if load_time == 0.0:
+        return True
+    if elapsed != 1.0:
+        return False
+    return elapsed == load_time / 2

@@ -1,0 +1,4 @@
+"""Fixture: builtin hash() feeding values and orderings."""
+
+bucket = hash("session-7") % 16
+ordered = sorted(["a", "b"], key=hash)

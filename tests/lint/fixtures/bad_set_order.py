@@ -1,0 +1,10 @@
+"""Fixture: set iteration order leaking into ordered state."""
+
+ids = [3, 1, 2, 1]
+
+for sid in set(ids):
+    print(sid)
+
+first = list({sid for sid in ids})
+pairs = [(x, x) for x in {1, 2, 3}]
+as_tuple = tuple(frozenset(ids))

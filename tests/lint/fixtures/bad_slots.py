@@ -1,0 +1,22 @@
+"""Fixture: hot-path dataclasses without slots.
+
+Linted with module="repro.engine.fixture" so the slots scope applies.
+"""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass
+class PlainRecord:
+    value: int
+
+
+@dataclass(frozen=True)
+class FrozenRecord:
+    value: int
+
+
+@dataclasses.dataclass(frozen=True, slots=False)
+class ExplicitlyUnslotted:
+    value: int

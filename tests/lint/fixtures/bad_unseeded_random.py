@@ -1,0 +1,16 @@
+"""Fixture: unseeded and global-state randomness."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+value = random.random()
+pick = random.choice([1, 2, 3])
+random.seed(0)  # reseeding the *global* RNG is still shared state
+rng = random.Random()  # entropy-seeded
+gen = np.random.default_rng()  # entropy-seeded
+legacy = np.random.rand(3)
+token = os.urandom(16)
+ident = uuid.uuid4()

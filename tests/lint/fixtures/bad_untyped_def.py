@@ -1,0 +1,17 @@
+"""Fixture: functions with missing annotations."""
+
+
+def no_return_annotation(x: int):
+    return x
+
+
+def missing_param(x, y: int) -> int:
+    return x + y
+
+
+class Widget:
+    def method(self, size) -> None:
+        self.size = size
+
+    def varargs(self, *args, **kwargs) -> None:
+        pass

@@ -1,0 +1,11 @@
+"""Fixture: every statement here reads the host wall clock."""
+
+import time
+from datetime import date, datetime
+from time import perf_counter as pc
+
+started = time.time()
+mono = time.monotonic()
+precise = pc()
+stamp = datetime.now()
+today = date.today()

@@ -1,0 +1,13 @@
+"""Fixture: cluster code honouring the store migration API."""
+
+
+def migrate(source, target, session_id):  # repro-lint: allow=untyped-def (fixture exercises only the isolation rule)
+    if source.store is None or target.store is None:
+        return
+    item = source.store.extract(session_id)
+    if item is None:
+        source.store.discard_stale(session_id)
+        return
+    admitted = target.store.admit_migrated(session_id, item.n_tokens, 0.0)
+    if admitted is None:
+        source.store.record_migration_loss()

@@ -1,0 +1,11 @@
+"""Fixture: tolerance comparisons and integer equality stay legal."""
+
+import math
+
+
+def prefill_done(load_time: float, elapsed: float, n_events: int) -> bool:
+    if load_time > 0.0:  # zero/nonzero restructure, no equality
+        return False
+    if math.isclose(elapsed, 1.0, rel_tol=1e-9):
+        return True
+    return n_events == 0  # int equality is exact and fine

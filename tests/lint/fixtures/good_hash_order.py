@@ -1,0 +1,11 @@
+"""Fixture: stable digests instead of salted builtin hash()."""
+
+import hashlib
+
+
+def stable_bucket(name: str, n_buckets: int) -> int:
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_buckets
+
+
+ordered = sorted(["a", "b"])  # natural ordering, no hash involved

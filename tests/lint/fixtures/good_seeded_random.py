@@ -1,0 +1,11 @@
+"""Fixture: every RNG is constructed from an explicit seed."""
+
+import random
+
+import numpy as np
+
+rng = random.Random(42)
+value = rng.random()
+gen = np.random.default_rng(42)
+other = np.random.default_rng(seed=7)
+noise = gen.normal(size=3)

@@ -1,0 +1,11 @@
+"""Fixture: sets used for membership, sorted before ordered use."""
+
+ids = [3, 1, 2, 1]
+seen = set(ids)
+
+if 3 in seen:  # membership only: no ordering observed
+    found = True
+
+ordered = sorted(set(ids))  # explicit total order before iteration
+for sid in ordered:
+    print(sid)

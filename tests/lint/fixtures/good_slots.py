@@ -1,0 +1,23 @@
+"""Fixture: slotted dataclasses and non-dataclass classes."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class SlottedRecord:
+    value: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FrozenSlottedRecord:
+    value: int
+
+
+class HandRolled:
+    """Not a dataclass; manual __slots__ (or none) is its own business."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value

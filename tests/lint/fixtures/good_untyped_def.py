@@ -1,0 +1,18 @@
+"""Fixture: fully annotated functions (self/cls exempt)."""
+
+from typing import Any
+
+
+def annotated(x: int, *rest: float, flag: bool = True, **extra: Any) -> int:
+    return x
+
+
+class Widget:
+    def method(self, size: int) -> None:
+        self.size = size
+
+    @classmethod
+    def build(cls, size: int) -> "Widget":
+        inst = cls()
+        inst.method(size)
+        return inst

@@ -1,0 +1,12 @@
+"""Fixture: simulated time and non-clock uses of the time module."""
+
+import time
+
+
+def wait_until(sim_now: float, deadline: float) -> float:
+    """Only the simulated clock is consulted."""
+    return max(sim_now, deadline)
+
+
+def nap() -> None:
+    time.sleep(0)  # sleeping is not *reading* a clock

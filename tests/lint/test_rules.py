@@ -1,0 +1,153 @@
+"""Good/bad fixture pairs for every lint rule."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# (rule, bad fixture, good fixture, module scope to lint under)
+PAIRS = [
+    ("wall-clock", "bad_wall_clock.py", "good_wall_clock.py", "repro.sim.fixture"),
+    (
+        "unseeded-random",
+        "bad_unseeded_random.py",
+        "good_seeded_random.py",
+        "repro.workload.fixture",
+    ),
+    ("hash-order", "bad_hash_order.py", "good_hash_order.py", "repro.runner.fixture"),
+    ("set-order", "bad_set_order.py", "good_set_order.py", "repro.store.fixture"),
+    ("float-eq", "bad_float_eq.py", "good_float_eq.py", "repro.engine.fixture"),
+    ("slots-required", "bad_slots.py", "good_slots.py", "repro.engine.fixture"),
+    (
+        "cluster-isolation",
+        "bad_cluster_isolation.py",
+        "good_cluster_isolation.py",
+        "repro.cluster.fixture",
+    ),
+    (
+        "untyped-def",
+        "bad_untyped_def.py",
+        "good_untyped_def.py",
+        "repro.engine.fixture",
+    ),
+]
+
+
+def lint_fixture(filename: str, module: str) -> list:
+    source = (FIXTURES / filename).read_text(encoding="utf-8")
+    return lint_source(source, path=filename, module=module, config=LintConfig())
+
+
+@pytest.mark.parametrize(
+    "rule,bad,good,module", PAIRS, ids=[p[0] for p in PAIRS]
+)
+class TestFixturePairs:
+    def test_bad_fixture_flagged(self, rule, bad, good, module):
+        hits = [d for d in lint_fixture(bad, module) if d.rule == rule]
+        assert hits, f"{bad} should trigger {rule}"
+
+    def test_good_fixture_clean(self, rule, bad, good, module):
+        hits = [d for d in lint_fixture(good, module) if d.rule == rule]
+        assert hits == [], f"{good} unexpectedly triggers {rule}: {hits}"
+
+
+class TestFindingCounts:
+    """Pin the exact number of hits so rules neither over- nor under-fire."""
+
+    def test_wall_clock_hits(self):
+        hits = [
+            d
+            for d in lint_fixture("bad_wall_clock.py", "repro.sim.fixture")
+            if d.rule == "wall-clock"
+        ]
+        assert len(hits) == 5
+
+    def test_unseeded_random_hits(self):
+        hits = [
+            d
+            for d in lint_fixture(
+                "bad_unseeded_random.py", "repro.workload.fixture"
+            )
+            if d.rule == "unseeded-random"
+        ]
+        assert len(hits) == 8
+
+    def test_float_eq_hits(self):
+        hits = [
+            d
+            for d in lint_fixture("bad_float_eq.py", "repro.engine.fixture")
+            if d.rule == "float-eq"
+        ]
+        assert len(hits) == 3
+
+    def test_slots_hits_name_the_class(self):
+        hits = [
+            d
+            for d in lint_fixture("bad_slots.py", "repro.engine.fixture")
+            if d.rule == "slots-required"
+        ]
+        assert len(hits) == 3
+        assert any("PlainRecord" in d.message for d in hits)
+
+    def test_cluster_isolation_hits(self):
+        hits = [
+            d
+            for d in lint_fixture(
+                "bad_cluster_isolation.py", "repro.cluster.fixture"
+            )
+            if d.rule == "cluster-isolation"
+        ]
+        assert len(hits) == 4
+
+
+class TestScoping:
+    """Package-scoped rules must not fire outside their packages."""
+
+    def test_float_eq_ignored_outside_hot_path(self):
+        hits = [
+            d
+            for d in lint_fixture("bad_float_eq.py", "repro.analysis.fixture")
+            if d.rule == "float-eq"
+        ]
+        assert hits == []
+
+    def test_slots_ignored_outside_scope(self):
+        hits = [
+            d
+            for d in lint_fixture("bad_slots.py", "repro.workload.fixture")
+            if d.rule == "slots-required"
+        ]
+        assert hits == []
+
+    def test_isolation_ignored_outside_cluster(self):
+        hits = [
+            d
+            for d in lint_fixture(
+                "bad_cluster_isolation.py", "repro.engine.fixture"
+            )
+            if d.rule == "cluster-isolation"
+        ]
+        assert hits == []
+
+    def test_determinism_rules_apply_everywhere(self):
+        hits = [
+            d
+            for d in lint_fixture("bad_wall_clock.py", "some.other.module")
+            if d.rule == "wall-clock"
+        ]
+        assert hits
+
+    def test_disable_turns_a_rule_off(self):
+        source = (FIXTURES / "bad_wall_clock.py").read_text(encoding="utf-8")
+        config = LintConfig(disable=frozenset({"wall-clock"}))
+        hits = [
+            d
+            for d in lint_source(
+                source, module="repro.sim.fixture", config=config
+            )
+            if d.rule == "wall-clock"
+        ]
+        assert hits == []
