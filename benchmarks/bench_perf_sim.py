@@ -54,7 +54,24 @@ REPLAY_ROUNDS = 3
 MICRO_CALLS = 100_000
 SWEEP_JOBS = int(os.environ.get("REPRO_PERF_JOBS", "4"))
 SWEEP_SESSION_GRID = (400, 600, 800, 1000)
+# The regression gate's replay size is fixed (not REPRO_PERF_SESSIONS):
+# its baselines in BENCH_sim.json must mean the same thing on every host
+# and in every CI job, whatever replay size the perf smoke test uses.
+GATE_SESSIONS = 300
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_sim.json")
+
+
+def load_benchmark_module(name: str):
+    """Import a sibling ``benchmarks/<name>.py`` by path (the directory is
+    not a package, and under pytest its modules are top-level)."""
+    import importlib.util
+
+    path = os.path.join(os.path.dirname(__file__), f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def available_cpus() -> int:
@@ -221,6 +238,35 @@ def metrics_modes_benchmark() -> dict:
     }
 
 
+def gates_section() -> dict:
+    """Baselines for ``bench_regression_gate.py`` (checked into
+    BENCH_sim.json by the local harness run).
+
+    The figure ratios and the replay hit rate are fully deterministic, so
+    the gate holds them to tight absolute tolerances; ``events_per_s`` is
+    host wall-clock, gated only as a generous fraction floor.
+    """
+    fig19 = load_benchmark_module("bench_fig19_preload")
+    fig20 = load_benchmark_module("bench_fig20_asyncsave")
+    no_pl, by_buffer, _perfect, _load, _compute = fig19.compute()
+    reductions = [1 - asyn / sync for _, sync, asyn, _ in fig20.compute()]
+
+    trace = generate_trace(WorkloadSpec(n_sessions=GATE_SESSIONS, seed=42))
+    start = time.perf_counter()
+    result = build_engine().run(trace)
+    wall = time.perf_counter() - start
+    return {
+        "sessions": GATE_SESSIONS,
+        "fig19_r0": round(1 - by_buffer[0] / no_pl, 6),
+        "fig19_r15": round(1 - by_buffer[15] / no_pl, 6),
+        "fig20_reduction_min": round(min(reductions), 6),
+        "fig20_reduction_max": round(max(reductions), 6),
+        "hit_rate": round(result.summary.hit_rate, 6),
+        "events": result.events_processed,
+        "events_per_s": round(result.events_processed / wall),
+    }
+
+
 def run_harness() -> dict:
     optimized_wall, optimized = best_of(REPLAY_ROUNDS)
     with legacy_hot_path():
@@ -269,6 +315,7 @@ def run_harness() -> dict:
         },
         "sweep": sweep_benchmark(),
         "metrics_modes": metrics_modes_benchmark(),
+        "gates": gates_section(),
         "peak_rss_mb": round(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
         ),

@@ -1,0 +1,105 @@
+"""CI bench-regression gate: key ratios must not drift from the baseline.
+
+Compares freshly computed results against the ``gates`` section of the
+checked-in ``BENCH_sim.json``:
+
+* **Fig. 19** — the layer-wise pre-loading reductions (PL-B0 and PL-B15
+  vs NO-PL) are closed-form and deterministic; they must match the
+  baseline to a tight absolute tolerance.
+* **Fig. 20** — the async-save total-time reduction band across prompt
+  lengths must stay inside the baseline band (± tolerance).
+* **Replay hit rate** — a fixed 300-session CA replay's cache hit rate
+  is deterministic; drift means a behavioural change slipped in.
+* **Events/s floor** — the same replay must process at least a generous
+  fraction of the baseline host's events/s (catches order-of-magnitude
+  hot-path regressions without flaking on slower CI machines).
+
+Env overrides: ``REPRO_GATE_RATIO_TOL`` (default 0.02),
+``REPRO_GATE_HIT_TOL`` (default 0.05), ``REPRO_GATE_EVENTS_FRACTION``
+(default 0.25; 0 disables the floor).
+
+Regenerate baselines with ``python benchmarks/bench_perf_sim.py`` (it
+rewrites BENCH_sim.json wholesale, gates included).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.workload import WorkloadSpec, generate_trace
+
+from bench_perf_sim import GATE_SESSIONS, build_engine, load_benchmark_module
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_sim.json"
+)
+RATIO_TOL = float(os.environ.get("REPRO_GATE_RATIO_TOL", "0.02"))
+HIT_TOL = float(os.environ.get("REPRO_GATE_HIT_TOL", "0.05"))
+EVENTS_FRACTION = float(os.environ.get("REPRO_GATE_EVENTS_FRACTION", "0.25"))
+
+
+@pytest.fixture(scope="module")
+def gates() -> dict:
+    with open(BASELINE_PATH) as fh:
+        payload = json.load(fh)
+    assert "gates" in payload, (
+        "BENCH_sim.json has no 'gates' baseline section; regenerate it "
+        "with: python benchmarks/bench_perf_sim.py"
+    )
+    return payload["gates"]
+
+
+@pytest.fixture(scope="module")
+def gate_replay():
+    """The gate's fixed-size CA replay, timed (shared by two tests)."""
+    trace = generate_trace(WorkloadSpec(n_sessions=GATE_SESSIONS, seed=42))
+    start = time.perf_counter()
+    result = build_engine().run(trace)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def test_fig19_preload_reductions_match_baseline(gates):
+    fig19 = load_benchmark_module("bench_fig19_preload")
+    no_pl, by_buffer, _perfect, _load, _compute = fig19.compute()
+    r0 = 1 - by_buffer[0] / no_pl
+    r15 = 1 - by_buffer[15] / no_pl
+    assert abs(r0 - gates["fig19_r0"]) <= RATIO_TOL, (r0, gates["fig19_r0"])
+    assert abs(r15 - gates["fig19_r15"]) <= RATIO_TOL, (r15, gates["fig19_r15"])
+    # Deeper buffers must keep helping — the overlap ordering itself.
+    assert r15 > r0
+
+
+def test_fig20_async_save_band_matches_baseline(gates):
+    fig20 = load_benchmark_module("bench_fig20_asyncsave")
+    reductions = [1 - asyn / sync for _, sync, asyn, _ in fig20.compute()]
+    assert min(reductions) >= gates["fig20_reduction_min"] - RATIO_TOL, (
+        min(reductions),
+        gates,
+    )
+    assert max(reductions) <= gates["fig20_reduction_max"] + RATIO_TOL, (
+        max(reductions),
+        gates,
+    )
+
+
+def test_replay_hit_rate_matches_baseline(gates, gate_replay):
+    result, _ = gate_replay
+    assert result.summary.n_turns > 0
+    assert abs(result.summary.hit_rate - gates["hit_rate"]) <= HIT_TOL, (
+        result.summary.hit_rate,
+        gates["hit_rate"],
+    )
+
+
+def test_replay_events_per_s_floor(gates, gate_replay):
+    if not EVENTS_FRACTION:
+        pytest.skip("events/s floor disabled (REPRO_GATE_EVENTS_FRACTION=0)")
+    result, wall = gate_replay
+    events_per_s = result.events_processed / wall
+    floor = EVENTS_FRACTION * gates["events_per_s"]
+    assert events_per_s >= floor, (events_per_s, floor)

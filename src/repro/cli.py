@@ -4,6 +4,8 @@ Subcommands:
 
 * ``workload``  — generate a synthetic ShareGPT-like trace (JSON).
 * ``run``       — serve a trace with CA or RE and print the summary.
+* ``trace``     — serve a trace with span tracing on; write Chrome-trace
+  JSON loadable at https://ui.perfetto.dev.
 * ``run-sweep`` — serve one config grid in parallel worker processes.
 * ``compare``   — run both modes on one trace and print the comparison.
 * ``capacity``  — the Section 4.3.6 provisioning analysis for a trace.
@@ -16,6 +18,10 @@ Examples::
     python -m repro.cli run --sessions 300 --fault-profile chaos
     python -m repro.cli run --sessions 300 --instances 4 --router affinity
     python -m repro.cli run --sessions 50000 --streaming-metrics
+    python -m repro.cli run --sessions 300 --profile --metrics-out m.json
+    python -m repro.cli trace --sessions 50 -o trace.json
+    python -m repro.cli trace --sessions 200 --instances 2 \
+        --router affinity -o cluster-trace.json
     python -m repro.cli run-sweep --param policy \
         --values scheduler-aware,lru,fifo --jobs 3 --sessions 300
     python -m repro.cli compare --sessions 300 --model llama-13b
@@ -46,7 +52,17 @@ from .config import (
 from .engine import RunResult, ServingEngine
 from .faults import FAULT_PROFILES, fault_profile
 from .models import MODEL_REGISTRY, GiB, get_model
+from .obs import (
+    EventLoopProfiler,
+    MetricsRegistry,
+    SpanTracer,
+    collect_cluster_metrics,
+    collect_engine_metrics,
+    ingest_tracer_spans,
+    write_chrome_trace,
+)
 from .runner import SweepPoint, run_sweep
+from .sim.loop import Simulator
 from .workload import Trace, WorkloadSpec, generate_trace
 
 
@@ -97,28 +113,63 @@ def build_parser() -> argparse.ArgumentParser:
             "occupancy); equivalent to REPRO_SANITIZE=1",
         )
 
+    def add_observability_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile",
+            action="store_true",
+            help="sample host-side event-loop cost (events/s, per-event-"
+            "type wall time); observation only, results are unchanged",
+        )
+        p.add_argument(
+            "--metrics-out",
+            type=Path,
+            default=None,
+            help="write the metrics registry (stable-schema JSON, or CSV "
+            "when the path ends in .csv)",
+        )
+
+    def add_topology_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--mode", default="ca", choices=["ca", "re"])
+        p.add_argument(
+            "--instances",
+            type=int,
+            default=1,
+            help="serving-engine replicas (>1 enables cluster serving)",
+        )
+        p.add_argument(
+            "--router",
+            default="affinity",
+            choices=[r.value for r in RouterName],
+            help="cluster session router (with --instances > 1)",
+        )
+        p.add_argument(
+            "--fault-profile",
+            default="none",
+            choices=FAULT_PROFILES,
+            help="inject storage faults (graceful-degradation demo)",
+        )
+        p.add_argument("--fault-seed", type=int, default=0)
+
     run = sub.add_parser("run", help="serve a trace")
     add_serving_args(run)
-    run.add_argument("--mode", default="ca", choices=["ca", "re"])
-    run.add_argument(
-        "--instances",
-        type=int,
-        default=1,
-        help="serving-engine replicas (>1 enables cluster serving)",
+    add_topology_args(run)
+    add_observability_args(run)
+
+    tr = sub.add_parser(
+        "trace",
+        help="serve a trace with span tracing on; write Chrome-trace JSON "
+        "for https://ui.perfetto.dev",
     )
-    run.add_argument(
-        "--router",
-        default="affinity",
-        choices=[r.value for r in RouterName],
-        help="cluster session router (with --instances > 1)",
+    add_serving_args(tr)
+    add_topology_args(tr)
+    add_observability_args(tr)
+    tr.add_argument(
+        "-o",
+        "--out",
+        type=Path,
+        required=True,
+        help="output path for the Chrome-trace JSON",
     )
-    run.add_argument(
-        "--fault-profile",
-        default="none",
-        choices=FAULT_PROFILES,
-        help="inject storage faults (graceful-degradation demo)",
-    )
-    run.add_argument("--fault-seed", type=int, default=0)
 
     sweep = sub.add_parser(
         "run-sweep",
@@ -306,11 +357,31 @@ def cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_profiler(
+    args: argparse.Namespace, sim: Simulator
+) -> EventLoopProfiler | None:
+    """Arm --profile on a built (not yet run) simulator."""
+    if not getattr(args, "profile", False):
+        return None
+    profiler = EventLoopProfiler()
+    profiler.install(sim)
+    return profiler
+
+
+def _write_metrics(path: Path, registry: MetricsRegistry) -> None:
+    """Export a registry as JSON (default) or CSV (``.csv`` paths)."""
+    text = registry.to_csv() if path.suffix == ".csv" else registry.to_json()
+    path.write_text(text)
+    print(f"wrote {len(registry)} metrics to {path}")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     mode = ServingMode.CACHED if args.mode == "ca" else ServingMode.RECOMPUTE
     trace = _load_trace(args)
     if args.instances > 1:
-        cluster_result = _build_cluster(args, mode).run(trace)
+        cluster = _build_cluster(args, mode)
+        profiler = _install_profiler(args, cluster.sim)
+        cluster_result = cluster.run(trace)
         print(
             format_table(
                 ["metric", "value"],
@@ -321,8 +392,13 @@ def cmd_run(args: argparse.Namespace) -> int:
                 ),
             )
         )
+        if args.metrics_out is not None:
+            _write_metrics(args.metrics_out, collect_cluster_metrics(cluster))
+        if profiler is not None:
+            print(f"\n{profiler.report().format()}")
         return 0
     engine = _build_engine(args, mode)
+    profiler = _install_profiler(args, engine.sim)
     result = engine.run(trace)
     print(
         format_table(
@@ -344,6 +420,42 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{stats.breaker_trips} breaker trips "
             f"({stats.breaker_recoveries} recoveries)"
         )
+    if args.metrics_out is not None:
+        _write_metrics(args.metrics_out, collect_engine_metrics(engine))
+    if profiler is not None:
+        print(f"\n{profiler.report().format()}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Serve a trace with a span tracer attached and export the trace."""
+    mode = ServingMode.CACHED if args.mode == "ca" else ServingMode.RECOMPUTE
+    trace = _load_trace(args)
+    tracer = SpanTracer()
+    if args.instances > 1:
+        cluster = _build_cluster(args, mode)
+        tracer.attach_cluster(cluster)
+        profiler = _install_profiler(args, cluster.sim)
+        cluster.run(trace)
+        registry = collect_cluster_metrics(cluster)
+    else:
+        engine = _build_engine(args, mode)
+        tracer.attach_engine(engine)
+        profiler = _install_profiler(args, engine.sim)
+        engine.run(trace)
+        registry = collect_engine_metrics(engine)
+    n_events = write_chrome_trace(args.out, tracer)
+    print(
+        f"wrote {n_events} trace events ({len(tracer.spans)} spans, "
+        f"{len(tracer.counters)} counter samples, "
+        f"{len(tracer.async_spans)} turn spans) to {args.out}"
+    )
+    print("open it at https://ui.perfetto.dev (or chrome://tracing)")
+    if args.metrics_out is not None:
+        ingest_tracer_spans(tracer, registry)
+        _write_metrics(args.metrics_out, registry)
+    if profiler is not None:
+        print(f"\n{profiler.report().format()}")
     return 0
 
 
@@ -509,6 +621,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 COMMANDS = {
     "workload": cmd_workload,
     "run": cmd_run,
+    "trace": cmd_trace,
     "run-sweep": cmd_run_sweep,
     "compare": cmd_compare,
     "capacity": cmd_capacity,

@@ -17,7 +17,7 @@ replica 0" and the cluster reproduces a standalone engine bit-for-bit.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..config import EngineConfig, HardwareConfig, ServingMode, StoreConfig
 from ..engine.engine import RunResult, ServingEngine, TurnCounter
@@ -32,6 +32,9 @@ from ..store.item import Tier
 from ..workload.trace import Conversation, Trace
 from .config import ClusterConfig, RouterName
 from .router import make_router
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,6 +142,9 @@ class ClusterEngine:
         # affinity router's cache-placement oracle (KV lives in at most
         # one store, and always the home replica's).
         self._home: dict[int, int] = {}
+        # Optional span tracer (repro.obs): installed from outside via
+        # SpanTracer.attach_cluster; pure observation of migrations.
+        self.tracer: "SpanTracer | None" = None
         self.sanitized = sanitize if sanitize is not None else sanitize_enabled()
         if self.sanitized:
             install_cluster(self)
@@ -248,6 +254,22 @@ class ClusterEngine:
             # recomputes its history at the target (graceful degradation).
             source.store.record_migration_loss()
             return
+        if self.tracer is not None:
+            self.tracer.span(
+                "migrate",
+                "cluster",
+                now,
+                done,
+                lane="cluster-net",
+                track="cluster",
+                args={
+                    "session": session_id,
+                    "from": source.name,
+                    "to": target.name,
+                    "tokens": item.n_tokens,
+                    "bytes": item.n_bytes,
+                },
+            )
         target.store.admit_migrated(
             session_id,
             item.n_tokens,

@@ -8,6 +8,7 @@ from .overlap import (
     layerwise_prefill_time,
     layerwise_prefill_time_reference,
     no_preload_prefill_time,
+    overlap_exposure,
     perfect_overlap_buffer_layers,
     preload_speedup,
     sync_save_blocking_time,
@@ -37,6 +38,7 @@ __all__ = [
     "layerwise_prefill_time",
     "layerwise_prefill_time_reference",
     "no_preload_prefill_time",
+    "overlap_exposure",
     "perfect_overlap_buffer_layers",
     "preload_speedup",
     "sync_save_blocking_time",

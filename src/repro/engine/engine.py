@@ -19,7 +19,7 @@ contend on shared PCIe and SSD :class:`~repro.sim.Channel` objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..config import (
     EngineConfig,
@@ -43,12 +43,16 @@ from .overlap import (
     async_save_blocking_time,
     layerwise_prefill_time,
     no_preload_prefill_time,
+    overlap_exposure,
     sync_save_blocking_time,
 )
 from .queue import SchedulerQueue
 from .request import TurnRequest
 from .session import SessionState
 from .truncation import apply_context_window, clamp_decode_tokens
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -168,6 +172,10 @@ class ServingEngine:
         # A cluster installs a hook here to route each session's next turn
         # (possibly to a different replica) instead of resubmitting locally.
         self.next_turn_hook: Callable[[ServingEngine, SessionState], None] | None = None
+        # Optional span tracer (repro.obs): installed from outside via
+        # SpanTracer.attach_engine; one attribute check per emission point
+        # when unset.  Pure observation — never alters timing.
+        self.tracer: "SpanTracer | None" = None
         self.sanitized = sanitize if sanitize is not None else sanitize_enabled()
         if self.sanitized:
             install_engine(self)
@@ -427,7 +435,68 @@ class ServingEngine:
             reserved_tokens=prompt + generate,
         )
         self._hbm_reserved_tokens += job.reserved_tokens
+        if self.tracer is not None:
+            self._trace_prefill(request, record, now, compute_time, load_time)
         self._continue_prefill(job, n_slices, duration / n_slices)
+
+    def _trace_prefill(
+        self,
+        request: TurnRequest,
+        record: TurnRecord,
+        now: float,
+        compute_time: float,
+        load_time: float,
+    ) -> None:
+        """Emit queue-wait / preload / prefill spans for one starting turn.
+
+        Everything recorded here was already computed by
+        :meth:`_start_prefill`; this only copies it into the tracer.
+        """
+        tracer = self.tracer
+        assert tracer is not None
+        track = self.name
+        duration = record.prefill_gpu_time
+        tracer.span(
+            "queue-wait",
+            "queue",
+            request.arrival_time,
+            now,
+            lane="queue",
+            track=track,
+            args={"session": request.session_id, "turn": request.turn_index},
+        )
+        if load_time > 0.0:
+            hidden, exposed = overlap_exposure(compute_time, load_time, duration)
+            tracer.span(
+                "preload",
+                "kv",
+                now,
+                now + load_time,
+                lane="kv-load",
+                track=track,
+                args={
+                    "session": request.session_id,
+                    "reused_tokens": record.reused_tokens,
+                    "hidden_s": hidden,
+                    "exposed_s": exposed,
+                },
+            )
+        tracer.span(
+            "prefill",
+            "gpu",
+            now,
+            now + duration,
+            lane="gpu",
+            track=track,
+            args={
+                "session": request.session_id,
+                "turn": request.turn_index,
+                "prompt_tokens": record.prompt_tokens,
+                "new_tokens": record.new_tokens,
+                "reused_tokens": record.reused_tokens,
+                "outcome": record.outcome.value,
+            },
+        )
 
     def _continue_prefill(
         self, job: ActiveJob, remaining_slices: int, slice_duration: float
@@ -548,6 +617,17 @@ class ServingEngine:
             self.batch.context_sum, len(self.batch), n_iters
         )
         batch_len = len(self.batch)
+        if self.tracer is not None:
+            now = self.sim.now
+            self.tracer.span(
+                "decode",
+                "gpu",
+                now,
+                now + duration,
+                lane="gpu",
+                track=self.name,
+                args={"batch": batch_len, "iters": n_iters},
+            )
         self._gpu_occupy(duration)
         self.sim.after(
             duration,
@@ -571,6 +651,17 @@ class ServingEngine:
             job.record.decode_gpu_share += share
             blocking_total += self._complete_turn(job)
         if blocking_total > 0.0:
+            if self.tracer is not None:
+                now = self.sim.now
+                self.tracer.span(
+                    "save-block",
+                    "gpu",
+                    now,
+                    now + blocking_total,
+                    lane="gpu",
+                    track=self.name,
+                    args={"turns": len(finished)},
+                )
             # Residual KV write-back blocks the GPU before the next job.
             self._gpu_occupy(blocking_total)
             self.sim.after(
@@ -604,6 +695,21 @@ class ServingEngine:
             blocking = self._save_kv(job, session)
         self._active_sessions.discard(job.session_id)
         record.save_block_time = blocking
+        if self.tracer is not None:
+            self.tracer.async_span(
+                "turn",
+                "turn",
+                f"{job.session_id}:{record.turn_index}",
+                record.arrival_time,
+                now,
+                track=self.name,
+                args={
+                    "session": job.session_id,
+                    "turn": record.turn_index,
+                    "outcome": record.outcome.value,
+                    "ttft_s": record.ttft,
+                },
+            )
         self.metrics.record_turn(record)
 
         session.record_turn_served(record.prompt_tokens, record.generated_tokens)

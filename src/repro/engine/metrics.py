@@ -235,7 +235,14 @@ class MetricsCollector:
         """
         streaming_flags = {c.streaming for c in collectors}
         if len(streaming_flags) > 1:
-            raise ValueError("cannot merge streaming and exact collectors")
+            n_streaming = sum(1 for c in collectors if c.streaming)
+            raise ValueError(
+                "cannot merge streaming and exact collectors: got "
+                f"{n_streaming} streaming and "
+                f"{len(collectors) - n_streaming} exact of {len(collectors)} "
+                "(construct every replica with the same streaming_metrics "
+                "flag before pooling)"
+            )
         streaming = bool(collectors) and collectors[0].streaming
         merged = cls(warmup_turns=0, streaming=streaming)
         for collector in collectors:

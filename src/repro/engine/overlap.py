@@ -192,6 +192,29 @@ def sync_save_blocking_time(save_time: float) -> float:
     return save_time
 
 
+def overlap_exposure(
+    compute_time: float, load_time: float, overlapped_duration: float
+) -> tuple[float, float]:
+    """Split a KV load into its (hidden, exposed) parts.
+
+    Given a prefill whose pure compute takes ``compute_time``, whose KV
+    preload takes ``load_time``, and whose overlapped wall time came out
+    as ``overlapped_duration`` (from :func:`layerwise_prefill_time` or
+    :func:`no_preload_prefill_time`), the load time the turn actually
+    *paid* is ``overlapped_duration - compute_time``; the rest was hidden
+    behind computation.  Observation helper for trace annotation — it
+    derives from already-computed durations and feeds nothing back.
+
+    Returns:
+        ``(hidden, exposed)`` with ``hidden + exposed == load_time`` up to
+        clamping at 0 for degenerate inputs.
+    """
+    _check_nonneg(compute_time, load_time, overlapped_duration)
+    exposed = max(0.0, overlapped_duration - compute_time)
+    hidden = max(0.0, load_time - exposed)
+    return hidden, exposed
+
+
 def _check_nonneg(*values: float) -> None:
     for value in values:
         if value < 0:

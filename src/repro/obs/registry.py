@@ -1,0 +1,142 @@
+"""Metrics registry: counters, gauges and log-histograms with exporters.
+
+A :class:`MetricsRegistry` is a flat namespace of dot-separated metric
+names (``store.dram.used_bytes``, ``channel.pcie-h2d.utilisation``) in
+three kinds:
+
+* **counters** — monotonically accumulated totals (hits, evictions);
+* **gauges** — last-written point values (occupancy fractions);
+* **histograms** — streaming distributions backed by the same mergeable
+  :class:`~repro.engine.streaming.LogHistogramQuantile` the streaming
+  metrics collector uses (bounded ~0.5 % quantile error, O(bins) memory).
+
+Export schema (``schema_version`` 1, stable — a golden test pins it):
+
+.. code-block:: json
+
+    {"schema_version": 1,
+     "counters":   {"<name>": <number>, ...},
+     "gauges":     {"<name>": <number>, ...},
+     "histograms": {"<name>": {"count": n, "p50": x, "p95": x,
+                               "p99": x, "max": x}, ...}}
+
+Keys are sorted, so two snapshots of the same run compare bytewise.  The
+CSV form flattens the same data to ``kind,name,field,value`` rows.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..engine.streaming import LogHistogramQuantile
+
+SCHEMA_VERSION = 1
+
+#: Quantiles reported per histogram, as (field name, q) pairs.
+_HISTOGRAM_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+    ("max", 1.0),
+)
+
+
+class MetricsRegistry:
+    """Accumulates named counters, gauges and histograms."""
+
+    __slots__ = ("_counters", "_gauges", "_hists")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._hists: dict[str, LogHistogramQuantile] = {}
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._hists)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def counter(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (>= 0) to the counter ``name``."""
+        if value < 0:
+            raise ValueError(f"counter {name!r} increment must be >= 0, got {value}")
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest value."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold one observation into the histogram ``name``."""
+        hist = self._hists.get(name)
+        if hist is None:
+            hist = self._hists[name] = LogHistogramQuantile()
+        hist.add(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str) -> float | None:
+        return self._gauges.get(name)
+
+    def histogram(self, name: str) -> LogHistogramQuantile | None:
+        return self._hists.get(name)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in: counters add, gauges take the other's
+        latest value, histograms merge exactly (bin counts add)."""
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(other._gauges)
+        for name, hist in other._hists.items():
+            mine = self._hists.get(name)
+            if mine is None:
+                mine = self._hists[name] = LogHistogramQuantile(
+                    hist.min_value, hist.growth
+                )
+            mine.merge(hist)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """The stable-schema dict form (see module docstring)."""
+        histograms: dict[str, dict[str, float]] = {}
+        for name in sorted(self._hists):
+            hist = self._hists[name]
+            entry: dict[str, float] = {"count": float(len(hist))}
+            for field, q in _HISTOGRAM_QUANTILES:
+                entry[field] = hist.quantile(q)
+            histograms[name] = entry
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": histograms,
+        }
+
+    def to_json(self) -> str:
+        """The snapshot as deterministic, sorted-key JSON text."""
+        return json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n"
+
+    def to_csv(self) -> str:
+        """The snapshot flattened to ``kind,name,field,value`` rows.
+
+        Rows are sorted; ``field`` is ``value`` for counters/gauges and
+        the quantile field name for histogram entries.
+        """
+        lines = ["kind,name,field,value"]
+        for name in sorted(self._counters):
+            lines.append(f"counter,{name},value,{self._counters[name]!r}")
+        for name in sorted(self._gauges):
+            lines.append(f"gauge,{name},value,{self._gauges[name]!r}")
+        for name in sorted(self._hists):
+            hist = self._hists[name]
+            lines.append(f"histogram,{name},count,{len(hist)}")
+            for field, q in _HISTOGRAM_QUANTILES:
+                lines.append(f"histogram,{name},{field},{hist.quantile(q)!r}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,188 @@
+"""Span tracing on the simulated clock.
+
+A :class:`SpanTracer` collects three kinds of observation:
+
+* **spans** — ``[start, end)`` intervals on a named *lane* (Chrome-trace
+  thread) of a *track* (Chrome-trace process; one track per engine
+  replica, plus ``"cluster"`` for the inter-host link);
+* **counter samples** — point-in-time numeric series (per-tier store
+  occupancy), rendered as Perfetto counter tracks;
+* **async spans** — intervals that may overlap on one lane (whole-turn
+  latency), rendered as Chrome async ("b"/"e") events.
+
+Zero overhead when disabled: nothing holds a tracer by default — the
+engine, store and channels each keep a ``tracer``/observer attribute that
+is ``None`` until :meth:`SpanTracer.attach_engine` (or
+:meth:`attach_cluster`) installs the hooks, so an untraced run pays one
+attribute check per instrumentation point.  Tracing is pure observation
+of values the simulator computes anyway; it never changes event order or
+float arithmetic, so traced runs are bit-identical to untraced runs.
+
+Span vocabulary (pinned by the golden-schema test):
+
+==============  ========  ==========================================
+name            category  meaning
+==============  ========  ==========================================
+``queue-wait``  queue     arrival -> prefill start of one turn
+``preload``     kv        layer-wise KV pre-loading window (§3.2.1)
+``prefill``     gpu       prefill compute (overlapped duration)
+``decode``      gpu       one decode chunk of the running batch
+``save-block``  gpu       residual async-save blocking (§3.2.2)
+``xfer``        channel   one transfer occupying a bandwidth channel
+``evict-spill`` store     DRAM -> disk demotion of a victim item
+``prefetch``    store     scheduler-aware disk -> DRAM fetch (§3.3.1)
+``migrate``     cluster   KV migration between replicas
+``turn``        turn      whole-turn latency (async span)
+==============  ========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from ..cluster.engine import ClusterEngine
+    from ..engine.engine import ServingEngine
+    from ..sim.channel import Channel
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One closed interval on a lane of a track."""
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    lane: str
+    track: str
+    args: dict[str, object] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CounterSample:
+    """A point sample of one or more named series (Chrome "C" event)."""
+
+    name: str
+    time: float
+    track: str
+    values: tuple[tuple[str, float], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class AsyncSpan:
+    """An interval that may overlap others on the same lane."""
+
+    name: str
+    cat: str
+    id: str
+    start: float
+    end: float
+    track: str
+    args: dict[str, object] | None = None
+
+
+class SpanTracer:
+    """Collects spans/counters/async spans from attached components."""
+
+    __slots__ = ("spans", "counters", "async_spans")
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.counters: list[CounterSample] = []
+        self.async_spans: list[AsyncSpan] = []
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.counters) + len(self.async_spans)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        end: float,
+        *,
+        lane: str,
+        track: str,
+        args: dict[str, object] | None = None,
+    ) -> None:
+        """Record one ``[start, end)`` interval (``end >= start``)."""
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts: {end} < {start}")
+        self.spans.append(Span(name, cat, start, end, lane, track, args))
+
+    def counter(
+        self,
+        name: str,
+        time: float,
+        *,
+        track: str,
+        values: tuple[tuple[str, float], ...],
+    ) -> None:
+        """Record a point sample of one or more named series."""
+        self.counters.append(CounterSample(name, time, track, values))
+
+    def async_span(
+        self,
+        name: str,
+        cat: str,
+        id_: str,
+        start: float,
+        end: float,
+        *,
+        track: str,
+        args: dict[str, object] | None = None,
+    ) -> None:
+        """Record an interval allowed to overlap others on its lane."""
+        if end < start:
+            raise ValueError(f"async span {name!r} ends before it starts")
+        self.async_spans.append(AsyncSpan(name, cat, id_, start, end, track, args))
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach_engine(self, engine: "ServingEngine") -> None:
+        """Install span hooks on one engine, its channels and its store.
+
+        The engine's ``name`` ("engine" standalone, "replica-<i>" in a
+        cluster) becomes the track all of its spans land on.
+        """
+        engine.tracer = self
+        track = engine.name
+        for channel in (engine.pcie_h2d, engine.pcie_d2h, engine.ssd):
+            self.observe_channel(channel, track)
+        if engine.store is not None:
+            engine.store.tracer = self
+            engine.store.trace_track = track
+
+    def attach_cluster(self, cluster: "ClusterEngine") -> None:
+        """Install span hooks on every replica plus the inter-host link."""
+        for engine in cluster.engines:
+            self.attach_engine(engine)
+        cluster.tracer = self
+        self.observe_channel(cluster.net, "cluster")
+
+    def observe_channel(self, channel: "Channel", track: str) -> None:
+        """Emit an ``xfer`` span for every transfer the channel serves."""
+
+        def on_transfer(
+            ch: "Channel", start: float, end: float, n_bytes: int, fault: bool
+        ) -> None:
+            args: dict[str, object] = {"bytes": n_bytes}
+            if fault:
+                args["fault"] = True
+            self.span(
+                "xfer",
+                "channel",
+                start,
+                end,
+                lane=ch.name,
+                track=track,
+                args=args,
+            )
+
+        channel.on_transfer = on_transfer

@@ -18,7 +18,7 @@ without a hook behave exactly as before.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol
+from typing import Callable, Protocol
 
 
 class ChannelFaultHook(Protocol):
@@ -57,11 +57,18 @@ class Channel:
         name: label for diagnostics ("pcie", "ssd", ...).
         bandwidth: bytes per second.
         fault_hook: optional fault-injection hook (see module docstring).
+        on_transfer: optional observer called after every transfer attempt
+            as ``(channel, start, end, n_bytes, faulted)``.  Observation
+            only — installed by :class:`repro.obs.spans.SpanTracer`; it
+            must not (and cannot, given what it receives) alter timing.
     """
 
     name: str
     bandwidth: float
     fault_hook: ChannelFaultHook | None = field(default=None, repr=False)
+    on_transfer: "Callable[[Channel, float, float, int, bool], None] | None" = field(
+        default=None, repr=False
+    )
     _busy_until: float = field(default=0.0, init=False)
     _bytes_moved: int = field(default=0, init=False)
     _busy_time: float = field(default=0.0, init=False)
@@ -106,10 +113,14 @@ class Channel:
             if self.fault_hook.transfer_fails(self.name, start):
                 self._busy_until = start + length
                 self._busy_time += length
+                if self.on_transfer is not None:
+                    self.on_transfer(self, start, self._busy_until, n_bytes, True)
                 raise FaultyTransfer(self.name, self._busy_until)
         self._busy_until = start + length
         self._bytes_moved += n_bytes
         self._busy_time += length
+        if self.on_transfer is not None:
+            self.on_transfer(self, start, self._busy_until, n_bytes, False)
         return self._busy_until
 
     def next_free(self, now: float) -> float:

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from .clock import SimClock
 from .events import Event, EventQueue
+
+if TYPE_CHECKING:
+    from ..obs.profile import EventLoopProfiler
 
 
 class Simulator:
@@ -22,6 +25,10 @@ class Simulator:
         # Observation point for sanitizers (repro.sanitize): called after
         # each executed event.  One attribute check per event when unset.
         self.event_hook: Callable[[Event], None] | None = None
+        # Optional host-side profiler (repro.obs.profile): when set, it
+        # dispatches each event (counting/timing around the same single
+        # callback invocation).  One attribute check per event when unset.
+        self.profiler: "EventLoopProfiler | None" = None
 
     @property
     def now(self) -> float:
@@ -71,7 +78,10 @@ class Simulator:
             event = self._queue.pop()
             assert event is not None
             self.clock.advance_to(event.time)
-            event.callback()
+            if self.profiler is None:
+                event.callback()
+            else:
+                self.profiler.run_event(event)
             self._events_processed += 1
             if self.event_hook is not None:
                 self.event_hook(event)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import AbstractSet, KeysView
+from typing import TYPE_CHECKING, AbstractSet, KeysView
 
 from ..config import EvictionPolicyName, StoreConfig
 from ..faults import FaultInjector, TierHealth
@@ -42,6 +42,9 @@ from .policy import (
     SchedulerAwarePolicy,
 )
 from .tier import StorageTier
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 
 class LookupStatus(str, Enum):
@@ -164,6 +167,10 @@ class AttentionStore:
         # blocks the disk does not hold yet (saves re-spill bandwidth when
         # a prefetched session returns with one extra turn appended).
         self._disk_written_tokens: dict[int, int] = {}
+        # Optional span tracer (repro.obs): installed from outside via
+        # SpanTracer.attach_engine; pure observation of tier movement.
+        self.tracer: "SpanTracer | None" = None
+        self.trace_track: str = "store"
 
     # ------------------------------------------------------------------
     # Introspection
@@ -327,6 +334,8 @@ class AttentionStore:
             self._disk_written_tokens[session_id] = min(old_written, n_tokens)
         self.stats.saves += 1
         self._inject_save_faults(item)
+        if self.tracer is not None:
+            self._trace_occupancy(now)
         return item
 
     def _inject_save_faults(self, item: KVCacheItem) -> None:
@@ -381,6 +390,8 @@ class AttentionStore:
         self._total_item_bytes += n_bytes
         self.stats.saves += 1
         self._inject_save_faults(item)
+        if self.tracer is not None:
+            self._trace_occupancy(now)
         return item
 
     def _overflow_from_hbm(
@@ -602,8 +613,23 @@ class AttentionStore:
                 self.disk_tier.remove(item.session_id)
                 self.dram_tier.admit(item)
                 return False
+            if self.tracer is not None:
+                self.tracer.span(
+                    "evict-spill",
+                    "store",
+                    now,
+                    done,
+                    lane="store",
+                    track=self.trace_track,
+                    args={
+                        "session": item.session_id,
+                        "bytes": self.item_bytes(delta_tokens),
+                    },
+                )
         self._disk_written_tokens[item.session_id] = item.n_tokens
         self.stats.evicted_to_disk += 1
+        if self.tracer is not None:
+            self._trace_occupancy(now)
         return True
 
     def _drop_item(self, item: KVCacheItem) -> None:
@@ -611,6 +637,21 @@ class AttentionStore:
         self._tier_of(item).remove(item.session_id)
         del self._items[item.session_id]
         self._total_item_bytes -= item.n_bytes
+
+    def _trace_occupancy(self, now: float) -> None:
+        """Sample per-tier occupancy into the tracer (one "C" event)."""
+        tracer = self.tracer
+        assert tracer is not None
+        tracer.counter(
+            "store-occupancy",
+            now,
+            track=self.trace_track,
+            values=(
+                ("hbm_bytes", float(self.hbm_tier.used_bytes)),
+                ("dram_bytes", float(self.dram_tier.used_bytes)),
+                ("disk_bytes", float(self.disk_tier.used_bytes)),
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -767,7 +808,19 @@ class AttentionStore:
             item.dram_ready_at = done
             self.stats.prefetches += 1
             self.stats.prefetched_bytes += item.n_bytes
+            if self.tracer is not None:
+                self.tracer.span(
+                    "prefetch",
+                    "store",
+                    now,
+                    done,
+                    lane="store",
+                    track=self.trace_track,
+                    args={"session": item.session_id, "bytes": item.n_bytes},
+                )
             issued.append((item.session_id, done))
+        if issued and self.tracer is not None:
+            self._trace_occupancy(now)
         return issued
 
     def complete_fetch(self, session_id: int) -> None:

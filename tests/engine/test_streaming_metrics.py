@@ -141,6 +141,21 @@ class TestStreamingCollector:
                 [MetricsCollector(), MetricsCollector(streaming=True)]
             )
 
+    def test_mixed_mode_error_names_the_split(self):
+        """The message must be actionable: how many of each mode, and how
+        to fix it (same streaming_metrics flag everywhere)."""
+        with pytest.raises(
+            ValueError,
+            match=r"1 streaming and 2 exact of 3.*streaming_metrics",
+        ):
+            MetricsCollector.merged(
+                [
+                    MetricsCollector(),
+                    MetricsCollector(streaming=True),
+                    MetricsCollector(),
+                ]
+            )
+
 
 class TestLogHistogramQuantile:
     def test_quantile_within_documented_error(self):

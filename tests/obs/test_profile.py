@@ -1,0 +1,66 @@
+"""EventLoopProfiler counting, sampling and reporting."""
+
+import pytest
+
+from repro.config import EngineConfig
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.obs import EventLoopProfiler
+from repro.sim.loop import Simulator
+
+
+class TestSampling:
+    def test_sample_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            EventLoopProfiler(sample_every=0)
+
+    def test_counts_every_event_samples_a_subset(self):
+        sim = Simulator()
+        profiler = EventLoopProfiler(sample_every=4)
+        profiler.install(sim)
+        assert sim.profiler is profiler
+
+        def tick() -> None:
+            pass
+
+        for i in range(20):
+            sim.at(float(i), tick)
+        sim.run()
+        report = profiler.report()
+        assert report.n_events == 20
+        (row,) = report.rows
+        assert row.count == 20
+        assert row.sampled == 20 // 4
+        assert "tick" in row.name
+
+    def test_report_before_install_is_empty(self):
+        report = EventLoopProfiler().report()
+        assert report.n_events == 0
+        assert report.wall_s == 0.0
+        assert report.rows == ()
+
+
+class TestEngineRun:
+    def test_profiled_run_reports_event_costs(self):
+        engine = ServingEngine(
+            get_model("llama-13b"), engine_config=EngineConfig(batch_size=8)
+        )
+        profiler = EventLoopProfiler(sample_every=2)
+        profiler.install(engine.sim)
+        from repro.workload import WorkloadSpec, generate_trace
+
+        result = engine.run(
+            generate_trace(WorkloadSpec(n_sessions=30, seed=13))
+        )
+        report = profiler.report()
+        assert report.n_events == result.events_processed
+        assert report.wall_s > 0
+        assert report.events_per_s > 0
+        assert report.rows
+        # Rows are sorted by estimated total cost, and shares sum to ~1.
+        costs = [row.est_total_s for row in report.rows]
+        assert costs == sorted(costs, reverse=True)
+        assert sum(row.share for row in report.rows) == pytest.approx(1.0)
+        text = report.format()
+        assert "events/s" in text
+        assert "callback" in text

@@ -1,0 +1,128 @@
+"""MetricsRegistry recording, merging and stable export schema."""
+
+import json
+
+import pytest
+
+from repro.config import EngineConfig, StoreConfig
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.obs import MetricsRegistry, SpanTracer
+from repro.obs.probes import (
+    collect_engine_metrics,
+    ingest_tracer_spans,
+)
+from repro.obs.registry import SCHEMA_VERSION
+from repro.workload import WorkloadSpec, generate_trace
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        r = MetricsRegistry()
+        r.counter("hits")
+        r.counter("hits", 4)
+        assert r.counter_value("hits") == 5
+        assert r.counter_value("absent") == 0
+
+    def test_negative_counter_increment_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError, match="must be >= 0"):
+            r.counter("hits", -1)
+
+    def test_gauges_keep_latest(self):
+        r = MetricsRegistry()
+        r.gauge("occupancy", 0.3)
+        r.gauge("occupancy", 0.7)
+        assert r.gauge_value("occupancy") == 0.7
+        assert r.gauge_value("absent") is None
+
+    def test_histograms_observe(self):
+        r = MetricsRegistry()
+        for v in (0.1, 0.2, 0.4):
+            r.observe("ttft", v)
+        hist = r.histogram("ttft")
+        assert hist is not None
+        assert len(hist) == 3
+        assert hist.quantile(1.0) == pytest.approx(0.4, rel=0.02)
+
+
+class TestMerge:
+    def test_merge_combines_all_kinds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", 2)
+        b.counter("c", 3)
+        a.gauge("g", 1.0)
+        b.gauge("g", 2.0)
+        a.observe("h", 0.1)
+        b.observe("h", 0.2)
+        a.merge(b)
+        assert a.counter_value("c") == 5
+        assert a.gauge_value("g") == 2.0
+        hist = a.histogram("h")
+        assert hist is not None and len(hist) == 2
+
+
+class TestExportSchema:
+    def test_snapshot_shape_is_stable(self):
+        r = MetricsRegistry()
+        r.counter("c", 1)
+        r.gauge("g", 0.5)
+        r.observe("h", 0.3)
+        snap = r.snapshot()
+        assert snap["schema_version"] == SCHEMA_VERSION
+        assert set(snap) == {"schema_version", "counters", "gauges", "histograms"}
+        assert set(snap["histograms"]["h"]) == {"count", "p50", "p95", "p99", "max"}
+
+    def test_json_is_sorted_and_deterministic(self):
+        r = MetricsRegistry()
+        r.counter("b", 1)
+        r.counter("a", 1)
+        text = r.to_json()
+        assert text == r.to_json()
+        parsed = json.loads(text)
+        assert list(parsed["counters"]) == ["a", "b"]
+
+    def test_csv_rows(self):
+        r = MetricsRegistry()
+        r.counter("c", 2)
+        r.gauge("g", 0.5)
+        r.observe("h", 0.3)
+        lines = r.to_csv().strip().splitlines()
+        assert lines[0] == "kind,name,field,value"
+        kinds = [line.split(",")[0] for line in lines[1:]]
+        assert kinds == ["counter", "gauge"] + ["histogram"] * 5
+
+
+class TestProbes:
+    @pytest.fixture(scope="class")
+    def run(self):
+        engine = ServingEngine(
+            get_model("llama-13b"),
+            engine_config=EngineConfig(batch_size=8),
+            store_config=StoreConfig(),
+        )
+        tracer = SpanTracer()
+        tracer.attach_engine(engine)
+        result = engine.run(
+            generate_trace(WorkloadSpec(n_sessions=40, seed=9))
+        )
+        return engine, tracer, result
+
+    def test_engine_probe_matches_summary(self, run):
+        engine, _, result = run
+        registry = collect_engine_metrics(engine)
+        s = result.summary
+        assert registry.counter_value("turns.served") == s.n_turns
+        assert registry.gauge_value("rates.hit") == pytest.approx(s.hit_rate)
+        assert registry.counter_value("hits.dram") == s.hits_dram
+        assert registry.counter_value("store.stats.saves") > 0
+        assert registry.gauge_value("store.dram.occupancy") is not None
+        util = registry.gauge_value("channel.pcie-h2d.utilisation")
+        assert util is not None and 0.0 <= util <= 1.0
+
+    def test_span_ingestion_builds_histograms(self, run):
+        _, tracer, result = run
+        registry = ingest_tracer_spans(tracer)
+        assert registry.counter_value("span.turn.count") == result.summary.n_turns
+        hist = registry.histogram("span.prefill")
+        assert hist is not None and len(hist) == result.summary.n_turns

@@ -1,0 +1,133 @@
+"""SpanTracer recording, validation and attachment mechanics."""
+
+import pytest
+
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.obs import SpanTracer
+from repro.sim.channel import Channel
+from repro.workload import WorkloadSpec, generate_trace
+
+
+def small_trace(n_sessions=30, seed=11):
+    return generate_trace(WorkloadSpec(n_sessions=n_sessions, seed=seed))
+
+
+class TestRecording:
+    def test_span_is_stored(self):
+        tracer = SpanTracer()
+        tracer.span("prefill", "gpu", 1.0, 2.5, lane="gpu", track="engine")
+        (span,) = tracer.spans
+        assert span.name == "prefill"
+        assert span.end - span.start == pytest.approx(1.5)
+
+    def test_span_rejects_negative_duration(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError, match="ends before it starts"):
+            tracer.span("prefill", "gpu", 2.0, 1.0, lane="gpu", track="engine")
+
+    def test_async_span_rejects_negative_duration(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError, match="ends before it starts"):
+            tracer.async_span("turn", "turn", "1:0", 2.0, 1.0, track="engine")
+
+    def test_len_counts_all_kinds(self):
+        tracer = SpanTracer()
+        tracer.span("a", "c", 0.0, 1.0, lane="l", track="t")
+        tracer.counter("n", 0.5, track="t", values=(("v", 1.0),))
+        tracer.async_span("b", "c", "id", 0.0, 1.0, track="t")
+        assert len(tracer) == 3
+
+
+class TestChannelObservation:
+    def test_transfer_emits_xfer_span(self):
+        tracer = SpanTracer()
+        channel = Channel("pcie", bandwidth=1e9)
+        tracer.observe_channel(channel, "engine")
+        done = channel.transfer(1.0, 2 * 10**9)
+        (span,) = tracer.spans
+        assert span.name == "xfer"
+        assert span.lane == "pcie"
+        assert span.start == pytest.approx(1.0)
+        assert span.end == pytest.approx(done)
+        assert span.args == {"bytes": 2 * 10**9}
+
+    def test_queued_transfer_span_starts_when_link_frees(self):
+        tracer = SpanTracer()
+        channel = Channel("ssd", bandwidth=1e9)
+        tracer.observe_channel(channel, "engine")
+        channel.transfer(0.0, 10**9)  # busy until t=1
+        channel.transfer(0.0, 10**9)  # queued: starts at t=1
+        assert tracer.spans[1].start == pytest.approx(1.0)
+        assert tracer.spans[1].end == pytest.approx(2.0)
+
+
+class TestEngineAttachment:
+    def test_attach_engine_installs_all_hooks(self):
+        engine = ServingEngine(get_model("llama-13b"))
+        tracer = SpanTracer()
+        tracer.attach_engine(engine)
+        assert engine.tracer is tracer
+        assert engine.store is not None
+        assert engine.store.tracer is tracer
+        assert engine.store.trace_track == engine.name
+        for channel in (engine.pcie_h2d, engine.pcie_d2h, engine.ssd):
+            assert channel.on_transfer is not None
+
+    def test_run_emits_core_lifecycle_spans(self):
+        engine = ServingEngine(get_model("llama-13b"))
+        tracer = SpanTracer()
+        tracer.attach_engine(engine)
+        result = engine.run(small_trace())
+        names = {span.name for span in tracer.spans}
+        assert {"queue-wait", "prefill", "decode", "preload", "xfer"} <= names
+        assert len(tracer.async_spans) == result.summary.n_turns
+        assert all(a.name == "turn" for a in tracer.async_spans)
+        assert all(span.track == engine.name for span in tracer.spans)
+
+    def test_affinity_spill_emits_one_migrate_span_per_migration(self):
+        from repro.cluster import ClusterConfig, ClusterEngine, RouterName
+        from repro.config import EngineConfig, StoreConfig
+
+        cluster = ClusterEngine(
+            get_model("llama-13b"),
+            cluster=ClusterConfig(
+                n_instances=4,
+                router=RouterName.AFFINITY,
+                # Zero threshold: any load imbalance spills, so the run
+                # actually exercises the migration path.
+                affinity_spill_tokens=0,
+            ),
+            engine_config=EngineConfig(batch_size=8),
+            store_config=StoreConfig(),
+        )
+        tracer = SpanTracer()
+        tracer.attach_cluster(cluster)
+        result = cluster.run(
+            generate_trace(
+                WorkloadSpec(n_sessions=120, arrival_rate=4.0, seed=7)
+            )
+        )
+        migrations = [s for s in tracer.spans if s.name == "migrate"]
+        assert result.migrations > 0
+        assert len(migrations) == result.migrations
+        for span in migrations:
+            assert span.track == "cluster"
+            assert span.lane == "cluster-net"
+            assert span.args is not None
+            assert span.args["from"] != span.args["to"]
+
+    def test_preload_spans_only_for_reused_turns(self):
+        engine = ServingEngine(get_model("llama-13b"))
+        tracer = SpanTracer()
+        tracer.attach_engine(engine)
+        result = engine.run(small_trace())
+        preloads = [s for s in tracer.spans if s.name == "preload"]
+        s = result.summary
+        assert len(preloads) == s.hits_dram + s.hits_disk
+        for span in preloads:
+            assert span.args is not None
+            hidden = span.args["hidden_s"]
+            exposed = span.args["exposed_s"]
+            assert isinstance(hidden, float) and isinstance(exposed, float)
+            assert hidden + exposed == pytest.approx(span.end - span.start)

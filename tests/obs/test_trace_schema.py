@@ -1,0 +1,186 @@
+"""Golden-file pinning of the Chrome-trace export schema.
+
+The span vocabulary, per-phase required fields and timeline ordering are
+a contract: Perfetto (and any downstream tooling) must keep loading
+traces across refactors.  ``golden_trace_schema.json`` is the checked-in
+contract; changing it is an intentional, reviewed schema change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterEngine, RouterName
+from repro.config import EngineConfig, StoreConfig
+from repro.models import MiB, get_model
+from repro.obs import SpanTracer, to_chrome_trace, write_chrome_trace
+from repro.workload import WorkloadSpec, generate_trace
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_trace_schema.json").read_text()
+)
+
+
+def traced_engine_run(n_sessions=60, dram_mib=None, seed=3):
+    """A single-engine run; a tight DRAM budget forces spills/prefetches."""
+    from repro.engine import ServingEngine
+
+    store_config = StoreConfig()
+    if dram_mib is not None:
+        store_config = StoreConfig(dram_bytes=int(dram_mib * MiB))
+    engine = ServingEngine(
+        get_model("llama-13b"),
+        engine_config=EngineConfig(batch_size=8),
+        store_config=store_config,
+    )
+    tracer = SpanTracer()
+    tracer.attach_engine(engine)
+    engine.run(generate_trace(WorkloadSpec(n_sessions=n_sessions, seed=seed)))
+    return tracer
+
+
+def traced_cluster_run(n_sessions=60, seed=5):
+    cluster = ClusterEngine(
+        get_model("llama-13b"),
+        cluster=ClusterConfig(n_instances=2, router=RouterName.AFFINITY),
+        engine_config=EngineConfig(batch_size=8),
+        store_config=StoreConfig(),
+    )
+    tracer = SpanTracer()
+    tracer.attach_cluster(cluster)
+    cluster.run(
+        generate_trace(WorkloadSpec(n_sessions=n_sessions, seed=seed))
+    )
+    return tracer
+
+
+@pytest.fixture(scope="module")
+def engine_trace():
+    return to_chrome_trace(traced_engine_run(dram_mib=600))
+
+
+@pytest.fixture(scope="module")
+def cluster_trace():
+    return to_chrome_trace(traced_cluster_run())
+
+
+def non_meta_events(trace):
+    return [e for e in trace["traceEvents"] if e["ph"] != "M"]
+
+
+class TestGoldenSchema:
+    @pytest.mark.parametrize("fixture", ["engine_trace", "cluster_trace"])
+    def test_names_and_categories_are_pinned(self, fixture, request):
+        trace = request.getfixturevalue(fixture)
+        span_names = set(GOLDEN["span_names"])
+        async_names = set(GOLDEN["async_names"])
+        counter_names = set(GOLDEN["counter_names"])
+        categories = set(GOLDEN["categories"])
+        for event in non_meta_events(trace):
+            ph = event["ph"]
+            if ph == "X":
+                assert event["name"] in span_names, event
+                assert event["cat"] in categories, event
+            elif ph == "C":
+                assert event["name"] in counter_names, event
+            elif ph in ("b", "e"):
+                assert event["name"] in async_names, event
+                assert event["cat"] in categories, event
+            else:
+                pytest.fail(f"unexpected phase {ph!r}")
+
+    @pytest.mark.parametrize("fixture", ["engine_trace", "cluster_trace"])
+    def test_required_fields_per_phase(self, fixture, request):
+        trace = request.getfixturevalue(fixture)
+        required = {ph: set(fields) for ph, fields in GOLDEN["required_fields"].items()}
+        for event in trace["traceEvents"]:
+            assert required[event["ph"]] <= set(event), event
+
+    @pytest.mark.parametrize("fixture", ["engine_trace", "cluster_trace"])
+    def test_metadata_first_then_monotonic_timestamps(self, fixture, request):
+        trace = request.getfixturevalue(fixture)
+        events = trace["traceEvents"]
+        first_non_meta = next(
+            i for i, e in enumerate(events) if e["ph"] != "M"
+        )
+        assert all(e["ph"] == "M" for e in events[:first_non_meta])
+        assert all(e["ph"] != "M" for e in events[first_non_meta:])
+        timestamps = [e["ts"] for e in events[first_non_meta:]]
+        assert timestamps == sorted(timestamps)
+        assert all(ts >= 0 for ts in timestamps)
+        assert all(
+            e["dur"] >= 0 for e in events[first_non_meta:] if e["ph"] == "X"
+        )
+
+    def test_store_pressure_emits_spill_and_prefetch_spans(self, engine_trace):
+        names = {e["name"] for e in non_meta_events(engine_trace)}
+        assert "evict-spill" in names
+        assert "prefetch" in names
+
+    def test_async_turn_spans_pair_up(self, engine_trace):
+        begins = [e for e in non_meta_events(engine_trace) if e["ph"] == "b"]
+        ends = [e for e in non_meta_events(engine_trace) if e["ph"] == "e"]
+        assert len(begins) == len(ends) > 0
+        assert {e["id"] for e in begins} == {e["id"] for e in ends}
+
+
+class TestOverlapVisibility:
+    def test_preload_overlaps_prefill_on_the_timeline(self, engine_trace):
+        """Section 3.2.1's point, visible in the trace: KV pre-loading
+        windows overlap the prefill compute spans they feed."""
+        events = non_meta_events(engine_trace)
+        prefills = [e for e in events if e["name"] == "prefill"]
+        preloads = [e for e in events if e["name"] == "preload"]
+        assert preloads, "expected reused turns with preload spans"
+        prefill_by_start = {
+            (e["pid"], e["ts"]): e for e in prefills
+        }
+        overlapped = 0
+        for preload in preloads:
+            prefill = prefill_by_start.get((preload["pid"], preload["ts"]))
+            if prefill is None:
+                continue
+            overlap = min(
+                preload["ts"] + preload["dur"], prefill["ts"] + prefill["dur"]
+            ) - max(preload["ts"], prefill["ts"])
+            if overlap > 0:
+                overlapped += 1
+        assert overlapped > 0
+
+
+class TestTrackAssignment:
+    def test_cluster_trace_has_one_track_per_replica(self, cluster_trace):
+        process_names = {
+            e["args"]["name"]
+            for e in cluster_trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert {"replica-0", "replica-1"} <= process_names
+
+    def test_pids_are_deterministic(self):
+        tracer = SpanTracer()
+        tracer.span("prefill", "gpu", 0.0, 1.0, lane="gpu", track="b")
+        tracer.span("prefill", "gpu", 0.0, 1.0, lane="gpu", track="a")
+        trace = to_chrome_trace(tracer)
+        pids = {
+            e["args"]["name"]: e["pid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert pids == {"a": 0, "b": 1}
+
+
+class TestWriter:
+    def test_written_file_round_trips(self, tmp_path):
+        tracer = traced_engine_run(n_sessions=20)
+        out = tmp_path / "trace.json"
+        n_events = write_chrome_trace(out, tracer)
+        loaded = json.loads(out.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == n_events > 0
+
+    def test_export_is_deterministic(self):
+        a = to_chrome_trace(traced_engine_run(n_sessions=20))
+        b = to_chrome_trace(traced_engine_run(n_sessions=20))
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.faults",
     "repro.hardware",
     "repro.model",
+    "repro.obs",
     "repro.sim",
     "repro.store",
     "repro.workload",
