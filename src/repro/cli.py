@@ -17,6 +17,8 @@ Examples::
     python -m repro.cli run --trace trace.json --model llama-13b
     python -m repro.cli run --sessions 300 --fault-profile chaos
     python -m repro.cli run --sessions 300 --instances 4 --router affinity
+    python -m repro.cli run --sessions 300 --instances 3 \
+        --fault-profile chaos-cluster --sanitize
     python -m repro.cli run --sessions 50000 --streaming-metrics
     python -m repro.cli run --sessions 300 --profile --metrics-out m.json
     python -m repro.cli trace --sessions 50 -o trace.json
@@ -146,9 +148,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--fault-profile",
             default="none",
             choices=FAULT_PROFILES,
-            help="inject storage faults (graceful-degradation demo)",
+            help="inject faults (graceful-degradation demo); "
+            "'chaos-cluster' additionally schedules a replica crash/"
+            "restart and a graceful drain, so it requires --instances "
+            "large enough to cover every scheduled replica (>= 2; the "
+            "built-in schedule targets replicas 0 and 1)",
         )
         p.add_argument("--fault-seed", type=int, default=0)
+        p.add_argument(
+            "--no-failover",
+            action="store_true",
+            help="on a replica crash, park interrupted turns until the "
+            "replica restarts instead of re-routing them to healthy "
+            "replicas (naive-restart baseline; with --instances > 1)",
+        )
 
     run = sub.add_parser("run", help="serve a trace")
     add_serving_args(run)
@@ -300,7 +313,9 @@ def _build_cluster(args: argparse.Namespace, mode: ServingMode) -> ClusterEngine
     return ClusterEngine(
         model,
         cluster=ClusterConfig(
-            n_instances=args.instances, router=RouterName(args.router)
+            n_instances=args.instances,
+            router=RouterName(args.router),
+            failover=not getattr(args, "no_failover", False),
         ),
         hardware=HardwareConfig().for_model(model),
         engine_config=engine_config,
@@ -312,9 +327,27 @@ def _build_cluster(args: argparse.Namespace, mode: ServingMode) -> ClusterEngine
     )
 
 
+def _validate_fault_topology(args: argparse.Namespace) -> None:
+    """Fail fast when a replica-fault profile needs more ``--instances``."""
+    config = fault_profile(
+        getattr(args, "fault_profile", "none"), seed=getattr(args, "fault_seed", 0)
+    )
+    schedule = config.replica_schedule if config is not None else None
+    if schedule is None or not schedule.enabled:
+        return
+    instances = getattr(args, "instances", 1)
+    if instances <= schedule.max_replica:
+        raise SystemExit(
+            f"error: --fault-profile {args.fault_profile} schedules replica "
+            f"faults up to replica {schedule.max_replica}, but --instances "
+            f"{instances} provides replicas 0..{instances - 1}; rerun with "
+            f"--instances {schedule.max_replica + 1} or higher"
+        )
+
+
 def _cluster_rows(result: ClusterResult) -> list[list[str]]:
     s = result.summary
-    return [
+    rows = [
         ["turns served", str(s.n_turns)],
         ["cache hit rate", percent(s.hit_rate)],
         ["mean TTFT (s)", f"{s.mean_ttft:.4f}"],
@@ -325,6 +358,19 @@ def _cluster_rows(result: ClusterResult) -> list[list[str]]:
         ["network traffic (GiB)", f"{result.net_bytes / GiB:.1f}"],
         ["makespan (h)", f"{s.makespan / 3600:.3f}"],
     ]
+    if result.crashes or result.drains:
+        rows += [
+            ["replica crashes / restarts", f"{result.crashes} / {result.restarts}"],
+            ["replica drains", str(result.drains)],
+            ["turns interrupted", str(result.lost_turns)],
+            ["failovers (parked)", f"{result.failovers} ({result.parked_turns})"],
+            [
+                "failover recompute (tok)",
+                f"{result.failover_recompute_tokens:,}",
+            ],
+            ["total downtime (s)", f"{result.total_downtime_s:.1f}"],
+        ]
+    return rows
 
 
 def _summary_rows(result: RunResult) -> list[list[str]]:
@@ -377,6 +423,7 @@ def _write_metrics(path: Path, registry: MetricsRegistry) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     mode = ServingMode.CACHED if args.mode == "ca" else ServingMode.RECOMPUTE
+    _validate_fault_topology(args)
     trace = _load_trace(args)
     if args.instances > 1:
         cluster = _build_cluster(args, mode)
@@ -430,6 +477,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_trace(args: argparse.Namespace) -> int:
     """Serve a trace with a span tracer attached and export the trace."""
     mode = ServingMode.CACHED if args.mode == "ca" else ServingMode.RECOMPUTE
+    _validate_fault_topology(args)
     trace = _load_trace(args)
     tracer = SpanTracer()
     if args.instances > 1:
@@ -486,6 +534,7 @@ def _sweep_worker(point: SweepPoint, seed: int) -> RunResult:
 
 
 def cmd_run_sweep(args: argparse.Namespace) -> int:
+    _validate_fault_topology(args)
     attr, parse = SWEEP_PARAMS[args.param]
     values = [parse(v.strip()) for v in args.values.split(",") if v.strip()]
     if not values:

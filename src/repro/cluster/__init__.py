@@ -10,9 +10,11 @@ locality-oblivious baselines it is measured against.
 
 from .config import ClusterConfig, RouterName
 from .engine import ClusterEngine, ClusterResult
+from .lifecycle import ReplicaLifecycle, ReplicaState
 from .router import (
     AffinityRouter,
     LeastLoadedRouter,
+    NoRoutableReplica,
     RoundRobinRouter,
     Router,
     make_router,
@@ -24,6 +26,9 @@ __all__ = [
     "ClusterEngine",
     "ClusterResult",
     "LeastLoadedRouter",
+    "NoRoutableReplica",
+    "ReplicaLifecycle",
+    "ReplicaState",
     "RoundRobinRouter",
     "Router",
     "RouterName",

@@ -43,6 +43,18 @@ class ClusterConfig:
     the configured DRAM/SSD store capacity evenly across replicas (each
     host owns a private shard, as in a real deployment); when False every
     replica gets the full configured capacity.
+
+    The failover knobs govern recovery from scheduled replica crashes
+    (:class:`~repro.faults.ReplicaFaultSchedule`).  With ``failover``
+    True (the default), turns orphaned by a crash are re-routed to a
+    healthy replica after ``failover_detection_s``, retrying with
+    exponential backoff (``failover_backoff_s`` doubling per attempt,
+    capped at ``failover_backoff_cap_s``) while no replica is routable;
+    the new home recomputes the session history.  With ``failover``
+    False (naive restart), orphaned turns wait out the downtime and are
+    resubmitted to the restarted replica, whose surviving SSD KV is
+    re-admitted.  ``drain_poll_s`` is how often a draining replica
+    re-checks for idle sessions it can migrate out.
     """
 
     n_instances: int = 1
@@ -50,6 +62,11 @@ class ClusterConfig:
     net_bandwidth: float = 12.5e9
     affinity_spill_tokens: int = 16384
     partition_store: bool = True
+    failover: bool = True
+    failover_detection_s: float = 0.5
+    failover_backoff_s: float = 0.5
+    failover_backoff_cap_s: float = 8.0
+    drain_poll_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.n_instances <= 0:
@@ -64,4 +81,23 @@ class ClusterConfig:
             raise ValueError(
                 "affinity_spill_tokens must be >= 0, got "
                 f"{self.affinity_spill_tokens}"
+            )
+        if self.failover_detection_s < 0:
+            raise ValueError(
+                "failover_detection_s must be >= 0, got "
+                f"{self.failover_detection_s}"
+            )
+        if self.failover_backoff_s <= 0:
+            raise ValueError(
+                "failover_backoff_s must be positive, got "
+                f"{self.failover_backoff_s}"
+            )
+        if self.failover_backoff_cap_s < self.failover_backoff_s:
+            raise ValueError(
+                f"failover_backoff_cap_s ({self.failover_backoff_cap_s}) "
+                f"must be >= failover_backoff_s ({self.failover_backoff_s})"
+            )
+        if self.drain_poll_s <= 0:
+            raise ValueError(
+                f"drain_poll_s must be positive, got {self.drain_poll_s}"
             )

@@ -23,15 +23,17 @@ from ..config import EngineConfig, HardwareConfig, ServingMode, StoreConfig
 from ..engine.engine import RunResult, ServingEngine, TurnCounter
 from ..engine.metrics import MetricsCollector, RunSummary
 from ..engine.session import SessionState
-from ..faults import FaultConfig
+from ..faults import FaultConfig, FaultInjector, ReplicaCrash
 from ..models import ModelSpec
+from ..runner.seeds import seed_for
 from ..sanitize import install_cluster, sanitize_enabled
 from ..sim.channel import Channel, ChannelPair, FaultyTransfer
 from ..sim.loop import Simulator
 from ..store.item import Tier
 from ..workload.trace import Conversation, Trace
 from .config import ClusterConfig, RouterName
-from .router import make_router
+from .lifecycle import ReplicaLifecycle, ReplicaState
+from .router import NoRoutableReplica, make_router
 
 if TYPE_CHECKING:
     from ..obs.spans import SpanTracer
@@ -58,6 +60,30 @@ class ClusterResult:
     #: Bytes carried by the inter-host network link.
     net_bytes: int
     events_processed: int
+    # Replica-lifecycle outcomes (all zero without a fault schedule):
+    #: Scheduled replica crashes that actually fired.
+    crashes: int = 0
+    restarts: int = 0
+    #: Graceful drains started.
+    drains: int = 0
+    #: In-flight turns interrupted by a crash (each is later failed over
+    #: or parked and resubmitted — lost work, never a lost answer).
+    lost_turns: int = 0
+    #: Sessions re-homed to a healthy replica after a crash.
+    failovers: int = 0
+    #: Routing retries while no replica was routable.
+    failover_retries: int = 0
+    #: Turns that waited out a downtime for naive restart (failover off).
+    parked_turns: int = 0
+    #: History tokens recomputed because their session failed over.
+    failover_recompute_tokens: int = 0
+    #: Seconds of replica downtime over completed crash/restart cycles.
+    total_downtime_s: float = 0.0
+
+    @property
+    def mttr_s(self) -> float:
+        """Mean time to recovery per completed crash/restart cycle."""
+        return self.total_downtime_s / self.restarts if self.restarts else 0.0
 
     @property
     def hit_rate(self) -> float:
@@ -104,6 +130,16 @@ class ClusterEngine:
         else:
             base_store = None
 
+        # The replica crash/drain schedule is cluster-level: events are
+        # validated against the replica count here and stripped from the
+        # per-replica configs below (a lone engine has nothing to crash).
+        schedule = fault_config.replica_schedule if fault_config is not None else None
+        if schedule is not None and not schedule.enabled:
+            schedule = None
+        if schedule is not None:
+            schedule.validate_for(n)
+        self.schedule = schedule
+
         self.sim = Simulator()
         self.turn_counter = TurnCounter()
         # One shared inter-host link: concurrent migrations contend on it.
@@ -111,9 +147,19 @@ class ClusterEngine:
         self.engines: list[ServingEngine] = []
         for i in range(n):
             replica_faults = fault_config
-            if fault_config is not None and n > 1:
-                # Independent fault streams per host, still deterministic.
-                replica_faults = replace(fault_config, seed=fault_config.seed + i)
+            if fault_config is not None:
+                seed = fault_config.seed
+                if n > 1:
+                    # Independent fault streams per host, still
+                    # deterministic.  Hash-derived so replica seeds are
+                    # uncorrelated (seed+i gave neighbouring replicas
+                    # overlapping decision streams); a single instance
+                    # keeps the base seed, bit-identical to a standalone
+                    # engine.
+                    seed = seed_for(fault_config.seed, f"replica-{i}")
+                replica_faults = replace(
+                    fault_config, seed=seed, replica_schedule=None
+                )
             self.engines.append(
                 ServingEngine(
                     model,
@@ -142,6 +188,32 @@ class ClusterEngine:
         # affinity router's cache-placement oracle (KV lives in at most
         # one store, and always the home replica's).
         self._home: dict[int, int] = {}
+        # Replica health; the router only ever returns UP replicas.
+        self.lifecycles = [ReplicaLifecycle() for _ in range(n)]
+        self.router.routable = self._replica_routable
+        # The shared inter-host link draws faults from its own
+        # hash-seeded stream — it belongs to no single host.
+        self.net_faults: FaultInjector | None = None
+        if fault_config is not None and fault_config.net_fault_rate > 0.0:
+            self.net_faults = FaultInjector(
+                replace(
+                    fault_config,
+                    seed=seed_for(fault_config.seed, "cluster-net"),
+                    replica_schedule=None,
+                )
+            )
+            self.net.fault_hook = self.net_faults
+        # Lifecycle counters (see ClusterResult for meanings).
+        self.crashes = 0
+        self.restarts = 0
+        self.drains = 0
+        self.lost_turns = 0
+        self.failovers = 0
+        self.failover_retries = 0
+        self.parked_turns = 0
+        # Turns waiting out a downtime (naive restart mode), as
+        # (session_id, original arrival time) in interruption order.
+        self._parked: list[tuple[int, float]] = []
         # Optional span tracer (repro.obs): installed from outside via
         # SpanTracer.attach_cluster; pure observation of migrations.
         self.tracer: "SpanTracer | None" = None
@@ -180,6 +252,7 @@ class ClusterEngine:
             self.sim.at(conv.arrival_time, self._arrival_starter(conv))
         for engine in self.engines:
             engine.schedule_maintenance()
+        self._schedule_lifecycle()
 
     def result(self) -> ClusterResult:
         """Aggregate per-replica and cluster-level results after the run."""
@@ -196,36 +269,110 @@ class ClusterEngine:
             scatter_drops=sum(s.scatter_drops for s in store_stats),
             net_bytes=self.net.bytes_moved,
             events_processed=self.sim.events_processed,
+            crashes=self.crashes,
+            restarts=self.restarts,
+            drains=self.drains,
+            lost_turns=self.lost_turns,
+            failovers=self.failovers,
+            failover_retries=self.failover_retries,
+            parked_turns=self.parked_turns,
+            failover_recompute_tokens=sum(
+                engine.failover_recompute_tokens for engine in self.engines
+            ),
+            total_downtime_s=sum(
+                life.total_downtime for life in self.lifecycles
+            ),
         )
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _replica_routable(self, index: int) -> bool:
+        return self.lifecycles[index].routable
+
+    def _retry_backoff(self, attempt: int) -> float:
+        """Backoff before routing retry ``attempt`` (1-based), capped."""
+        cfg = self.cluster
+        return min(
+            cfg.failover_backoff_cap_s,
+            cfg.failover_backoff_s * (2 ** (attempt - 1)),
+        )
+
     def _arrival_starter(self, conv: Conversation) -> Callable[[], None]:
         def start() -> None:
-            index = self.router.route(conv.session_id, None)
-            self._home[conv.session_id] = index
-            self.engines[index].start_session(conv)
+            self._start_arrival(conv, 1)
 
         return start
 
+    def _start_arrival(self, conv: Conversation, attempt: int) -> None:
+        try:
+            index = self.router.route(conv.session_id, None)
+        except NoRoutableReplica:
+            # Every replica is down or draining; hold the arrival and
+            # retry with capped exponential backoff until one restarts.
+            self.failover_retries += 1
+            self.sim.after(
+                self._retry_backoff(attempt),
+                lambda: self._start_arrival(conv, attempt + 1),
+            )
+            return
+        self._home[conv.session_id] = index
+        self.engines[index].start_session(conv)
+
     def _route_next_turn(self, source: ServingEngine, session: SessionState) -> None:
         """Route one returning session (installed as every replica's
-        ``next_turn_hook``, firing when the user's think time elapses)."""
+        ``next_turn_hook``, firing when the user's think time elapses).
+
+        ``source`` served the previous turn, but the session may have
+        been re-homed since (a failover or drain while the user was
+        thinking), so routing always starts from the current owner.
+        """
         session_id = session.session_id
         home = self._home[session_id]
-        target_index = self.router.route(session_id, home)
+        owner = self.engines[home]
+        if self.lifecycles[home].state is ReplicaState.DOWN:
+            # The home replica crashed while the user was thinking.  The
+            # router already knows (the crash handler marked it — no
+            # detection delay), so fail the session over immediately, or
+            # park the turn until restart when failover is disabled.
+            now = self.sim.now
+            if self.cluster.failover:
+                self._failover_turn(session_id, now, now, 1)
+            else:
+                self._parked.append((session_id, now))
+                self.parked_turns += 1
+            return
+        try:
+            target_index = self.router.route(session_id, home)
+        except NoRoutableReplica:
+            self.failover_retries += 1
+            self.sim.after(
+                self.cluster.failover_backoff_s,
+                lambda: self._route_next_turn(source, session),
+            )
+            return
         if target_index == home:
-            source.submit_next_turn(session)
+            owner.submit_next_turn(session)
             return
         target = self.engines[target_index]
         self._home[session_id] = target_index
-        target.adopt_session(source.release_session(session_id))
-        self._move_kv(source, target, session_id)
+        target.adopt_session(owner.release_session(session_id))
+        # A draining home must preserve the KV ("migrate, then stop"),
+        # even under routers that would normally scatter-drop it.
+        self._move_kv(
+            owner,
+            target,
+            session_id,
+            force=self.lifecycles[home].state is ReplicaState.DRAINING,
+        )
         target.submit_next_turn(session)
 
     def _move_kv(
-        self, source: ServingEngine, target: ServingEngine, session_id: int
+        self,
+        source: ServingEngine,
+        target: ServingEngine,
+        session_id: int,
+        force: bool = False,
     ) -> None:
         """Reconcile KV placement after a session changed replicas.
 
@@ -233,11 +380,12 @@ class ClusterEngine:
         items are staged through the source SSD first); oblivious routers
         drop the stale copy instead — a truncation on the new replica
         would silently invalidate any remote leftover, so at most one
-        store may ever hold a session's KV.
+        store may ever hold a session's KV.  ``force`` migrates under any
+        router: a draining replica's sessions take their KV with them.
         """
         if source.store is None or target.store is None:
             return
-        if self.router.name is not RouterName.AFFINITY:
+        if self.router.name is not RouterName.AFFINITY and not force:
             source.store.discard_stale(session_id)
             return
         item = source.store.extract(session_id)
@@ -279,3 +427,204 @@ class ClusterEngine:
             queue=target.queue,
             pinned=target.active_sessions,
         )
+
+    # ------------------------------------------------------------------
+    # Replica lifecycle (crash / restart / drain)
+    # ------------------------------------------------------------------
+    def _schedule_lifecycle(self) -> None:
+        """Arm the run's replica crash/restart/drain events."""
+        if self.schedule is None:
+            return
+        for crash in self.schedule.crashes:
+            self.sim.at(crash.at, lambda c=crash: self._crash_replica(c))
+            self.sim.at(
+                crash.restart_at, lambda c=crash: self._restart_replica(c)
+            )
+        for drain in self.schedule.drains:
+            self.sim.at(drain.at, lambda d=drain: self._begin_drain(d.replica))
+
+    def _crash_replica(self, crash: ReplicaCrash) -> None:
+        """Kill one replica: volatile KV and in-flight turns are gone.
+
+        Interrupted turns are failed over to healthy peers (after the
+        detection delay) or, with failover disabled, parked until the
+        replica restarts.  Sessions mid-think keep their timers; their
+        next turn is handled by :meth:`_route_next_turn` when it fires.
+        """
+        index = crash.replica
+        life = self.lifecycles[index]
+        if life.state in (ReplicaState.DOWN, ReplicaState.STOPPED):
+            return  # already dead, or drained out of the cluster
+        now = self.sim.now
+        life.crash(now)
+        self.crashes += 1
+        interrupted = self.engines[index].crash(now)
+        self.lost_turns += len(interrupted)
+        if self.tracer is not None:
+            self.tracer.span(
+                "crash",
+                "cluster",
+                now,
+                crash.restart_at,
+                lane="lifecycle",
+                track="cluster",
+                args={
+                    "replica": index,
+                    "lost_turns": len(interrupted),
+                    "downtime_s": crash.downtime,
+                },
+            )
+        for request in interrupted:
+            if self.cluster.failover:
+                self.sim.after(
+                    self.cluster.failover_detection_s,
+                    lambda sid=request.session_id, at=request.arrival_time: (
+                        self._failover_turn(sid, at, now, 1)
+                    ),
+                )
+            else:
+                self._parked.append((request.session_id, request.arrival_time))
+                self.parked_turns += 1
+
+    def _failover_turn(
+        self,
+        session_id: int,
+        arrival_time: float,
+        orphaned_at: float,
+        attempt: int,
+    ) -> None:
+        """Re-route one turn orphaned by a crash to a healthy replica.
+
+        Retries with capped exponential backoff while no replica is
+        routable.  The resubmitted turn keeps its original arrival time
+        (recorded queueing delay spans the outage) and carries the
+        failover flag, so the new home recomputes the history — the
+        surviving SSD copy is unreachable until the dead replica
+        restarts, and exactly-one-copy forbids a second one.  If the home
+        replica restarts before any peer frees up, the turn is served
+        there normally against the re-admitted SSD copy.
+        """
+        home = self._home[session_id]
+        owner = self.engines[home]
+        session = owner.sessions[session_id]
+        try:
+            target_index = self.router.route(session_id, None)
+        except NoRoutableReplica:
+            self.failover_retries += 1
+            self.sim.after(
+                self._retry_backoff(attempt),
+                lambda: self._failover_turn(
+                    session_id, arrival_time, orphaned_at, attempt + 1
+                ),
+            )
+            return
+        target = self.engines[target_index]
+        failed_over = target_index != home
+        if failed_over:
+            self._home[session_id] = target_index
+            target.adopt_session(owner.release_session(session_id))
+            # No KV moves: the dead replica's store is empty (volatile
+            # wiped, SSD parked offline), and the restart-time
+            # re-admission drops this session's copy.
+            self.failovers += 1
+            if self.tracer is not None:
+                self.tracer.span(
+                    "failover",
+                    "cluster",
+                    orphaned_at,
+                    self.sim.now,
+                    lane="lifecycle",
+                    track="cluster",
+                    args={
+                        "session": session_id,
+                        "from": home,
+                        "to": target_index,
+                        "retries": attempt - 1,
+                    },
+                )
+        target.submit_next_turn(
+            session, failover=failed_over, arrival_time=arrival_time
+        )
+
+    def _restart_replica(self, crash: ReplicaCrash) -> None:
+        """Bring a crashed replica back: re-admit its surviving SSD KV
+        (minus sessions that failed over meanwhile) and resubmit any
+        turns parked through the downtime."""
+        index = crash.replica
+        life = self.lifecycles[index]
+        if life.state is not ReplicaState.DOWN:
+            return  # the matching crash was skipped
+        now = self.sim.now
+        life.restart(now)
+        self.restarts += 1
+        engine = self.engines[index]
+        engine.restart(now, keep=lambda sid: self._home.get(sid) == index)
+        if not self._parked:
+            return
+        still_parked: list[tuple[int, float]] = []
+        for session_id, arrival in self._parked:
+            if self._home.get(session_id) != index:
+                still_parked.append((session_id, arrival))
+                continue
+            engine.submit_next_turn(
+                engine.sessions[session_id], arrival_time=arrival
+            )
+        self._parked = still_parked
+
+    def _begin_drain(self, index: int) -> None:
+        """Start a graceful drain: stop admitting, then migrate out."""
+        life = self.lifecycles[index]
+        if life.state is not ReplicaState.UP:
+            return  # down or already stopped; nothing to drain
+        life.begin_drain(self.sim.now)
+        self.drains += 1
+        self._drain_step(index)
+
+    def _drain_step(self, index: int) -> None:
+        """One drain pass: migrate idle sessions out; poll until empty.
+
+        Sessions with an in-flight turn finish it here first (a draining
+        replica keeps serving what it admitted — it just takes no more);
+        the periodic poll catches them once idle.  When only finished
+        sessions remain, their leftover KV is dropped and the replica
+        stops.
+        """
+        life = self.lifecycles[index]
+        if life.state is not ReplicaState.DRAINING:
+            return  # crashed mid-drain; the restart cancelled the drain
+        engine = self.engines[index]
+        busy = engine.active_sessions
+        for session_id in sorted(engine.sessions):
+            session = engine.sessions[session_id]
+            if session.finished or session_id in busy:
+                continue
+            if engine.queue.position(session_id) is not None:
+                continue
+            try:
+                target_index = self.router.route(session_id, None)
+            except NoRoutableReplica:
+                break  # no healthy peer right now; retry at the next poll
+            target = self.engines[target_index]
+            self._home[session_id] = target_index
+            target.adopt_session(engine.release_session(session_id))
+            self._move_kv(engine, target, session_id, force=True)
+        if any(not s.finished for s in engine.sessions.values()):
+            self.sim.after(
+                self.cluster.drain_poll_s, lambda: self._drain_step(index)
+            )
+            return
+        if engine.store is not None:
+            engine.store.decommission()
+        now = self.sim.now
+        started = life.drain_started_at
+        life.finish_drain(now)
+        if self.tracer is not None:
+            self.tracer.span(
+                "drain",
+                "cluster",
+                started if started is not None else now,
+                now,
+                lane="lifecycle",
+                track="cluster",
+                args={"replica": index},
+            )

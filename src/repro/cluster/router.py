@@ -14,12 +14,16 @@ the cache hit (or forces a migration over the inter-host network).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from .config import RouterName
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.engine import ServingEngine
+
+
+class NoRoutableReplica(LookupError):
+    """Every replica is unroutable (crashed, draining or stopped)."""
 
 
 class Router(ABC):
@@ -31,6 +35,11 @@ class Router(ABC):
         if not engines:
             raise ValueError("a router needs at least one replica")
         self.engines = engines
+        # Cluster-installed availability predicate: replicas it rejects
+        # (down or draining) are never returned.  None = all routable,
+        # which keeps single-host and healthy-cluster routing decisions
+        # byte-identical to the predicate-free code path.
+        self.routable: Callable[[int], bool] | None = None
 
     @abstractmethod
     def route(self, session_id: int, home: int | None) -> int:
@@ -38,13 +47,31 @@ class Router(ABC):
 
         ``home`` is the replica that served the session's previous turn
         (None for a new session).
+
+        Raises:
+            NoRoutableReplica: when no replica is currently routable.
         """
 
+    def _is_routable(self, index: int) -> bool:
+        return self.routable is None or self.routable(index)
+
     def least_loaded(self) -> int:
-        """Index of the replica with the fewest queued + admitted tokens,
-        lowest index winning ties (deterministic)."""
-        loads = [engine.load_tokens for engine in self.engines]
-        return loads.index(min(loads))
+        """Index of the routable replica with the fewest queued + admitted
+        tokens, lowest index winning ties (deterministic)."""
+        if self.routable is None:
+            loads = [engine.load_tokens for engine in self.engines]
+            return loads.index(min(loads))
+        best = -1
+        best_load = 0
+        for index, engine in enumerate(self.engines):
+            if not self.routable(index):
+                continue
+            load = engine.load_tokens
+            if best < 0 or load < best_load:
+                best, best_load = index, load
+        if best < 0:
+            raise NoRoutableReplica("no healthy replica to route to")
+        return best
 
 
 class RoundRobinRouter(Router):
@@ -62,9 +89,12 @@ class RoundRobinRouter(Router):
         self._next = 0
 
     def route(self, session_id: int, home: int | None) -> int:
-        index = self._next
-        self._next = (self._next + 1) % len(self.engines)
-        return index
+        for _ in range(len(self.engines)):
+            index = self._next
+            self._next = (self._next + 1) % len(self.engines)
+            if self._is_routable(index):
+                return index
+        raise NoRoutableReplica("no healthy replica to route to")
 
 
 class LeastLoadedRouter(Router):
@@ -100,7 +130,10 @@ class AffinityRouter(Router):
         self.spill_tokens = spill_tokens
 
     def route(self, session_id: int, home: int | None) -> int:
-        if home is None:
+        if home is None or not self._is_routable(home):
+            # New session — or the home replica is down/draining, so
+            # affinity is forfeit and the session lands wherever load is
+            # lowest (its history recomputes or migrates there).
             return self.least_loaded()
         target = self.least_loaded()
         home_load = self.engines[home].load_tokens

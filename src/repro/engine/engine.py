@@ -133,6 +133,16 @@ class ServingEngine:
         self.ssd = ssd or Channel("ssd", self.hardware.ssd_bandwidth)
         self.disk_path = ChannelPair(self.ssd, self.pcie_h2d)
 
+        if (
+            fault_config is not None
+            and fault_config.replica_schedule is not None
+            and fault_config.replica_schedule.enabled
+        ):
+            raise ValueError(
+                "replica fault schedules are cluster-level: run via a "
+                "ClusterEngine (--instances >= 2), which owns "
+                "crash/restart/drain scheduling"
+            )
         # An inert fault config (all rates zero) builds no injector, so
         # default runs take the exact pre-fault code paths.
         self.fault_config: FaultConfig | None = None
@@ -165,6 +175,15 @@ class ServingEngine:
         # replaced at save time, so demoting it would only waste SSD writes
         # (and a popped job is otherwise invisible to the queue view).
         self._active_sessions: set[int] = set()
+        # Crash epoch: bumped by crash() so already-scheduled GPU-work
+        # continuations (which cannot be unscheduled) no-op when they fire.
+        self._epoch = 0
+        # The job currently mid-prefill, if any; prefill continuations
+        # otherwise live only in closures, invisible to crash().
+        self._prefilling_job: ActiveJob | None = None
+        #: History tokens recomputed because their turn failed over from a
+        #: crashed replica (the failover recompute burden).
+        self.failover_recompute_tokens = 0
         self._turn_counter = turn_counter if turn_counter is not None else TurnCounter()
         self._remaining_sessions = 0
         self._hbm_budget_tokens = self._compute_hbm_budget_tokens()
@@ -223,7 +242,7 @@ class ServingEngine:
         each replica, since cluster arrivals bypass ``schedule_trace``.
         """
         if self.store is not None and self.store.config.ttl_seconds is not None:
-            self.sim.after(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+            self._after_epoch(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
         if self.store is not None and self.fault_config is not None:
             for event in self.fault_config.tier_loss_events:
                 self.sim.at(
@@ -261,9 +280,21 @@ class ServingEngine:
         self._remaining_sessions += 1
         self._session_starter(conv)()
 
-    def submit_next_turn(self, session: SessionState) -> None:
-        """Enqueue a session's next turn now (cluster routing entry point)."""
-        self._submit_next_turn(session)
+    def submit_next_turn(
+        self,
+        session: SessionState,
+        *,
+        failover: bool = False,
+        arrival_time: float | None = None,
+    ) -> None:
+        """Enqueue a session's next turn now (cluster routing entry point).
+
+        Resubmissions of a turn interrupted by a replica crash pass
+        ``failover=True`` (the history is recomputed at this replica) and
+        the turn's *original* ``arrival_time``, so recorded queueing delay
+        spans the downtime the user actually waited through.
+        """
+        self._submit_next_turn(session, failover=failover, arrival_time=arrival_time)
 
     def release_session(self, session_id: int) -> SessionState:
         """Hand a session off to another replica (cluster migration)."""
@@ -287,15 +318,21 @@ class ServingEngine:
 
         return start
 
-    def _submit_next_turn(self, session: SessionState) -> None:
+    def _submit_next_turn(
+        self,
+        session: SessionState,
+        failover: bool = False,
+        arrival_time: float | None = None,
+    ) -> None:
         turn = session.conversation.turns[session.next_turn]
         request = TurnRequest(
             session_id=session.session_id,
             turn_index=session.next_turn,
             q_tokens=turn.q_tokens,
             a_tokens=turn.a_tokens,
-            arrival_time=self.sim.now,
+            arrival_time=self.sim.now if arrival_time is None else arrival_time,
             global_turn=self._turn_counter.next(),
+            failover=failover,
         )
         self.queue.push(request)
         self._prefetch()
@@ -365,7 +402,14 @@ class ServingEngine:
 
         if request.turn_index > 0:
             turn_outcome = TurnOutcome.MISS
-            if self.store is not None and outcome.history_tokens > 0:
+            if request.failover:
+                # The turn was interrupted by a replica crash and re-routed
+                # here; whatever KV survives is unreachable on this replica
+                # (exactly-one-copy), so the history recomputes in full.
+                turn_outcome = TurnOutcome.FALLBACK_RECOMPUTE
+                if self.store is not None:
+                    self.store.stats.fallback_recomputes += 1
+            elif self.store is not None and outcome.history_tokens > 0:
                 result = self.store.lookup(request.session_id, now)
                 if result.status is LookupStatus.MISS_CORRUPT:
                     # Checksum mismatch: the cache is dropped, never
@@ -386,6 +430,8 @@ class ServingEngine:
                         load_time = load
 
         new_tokens = prompt - reused
+        if request.failover:
+            self.failover_recompute_tokens += new_tokens
         compute_time = (
             self.perf.prefill_time(new_tokens, reused)
             / self.config.prefill_efficiency_factor
@@ -435,6 +481,7 @@ class ServingEngine:
             reserved_tokens=prompt + generate,
         )
         self._hbm_reserved_tokens += job.reserved_tokens
+        self._prefilling_job = job
         if self.tracer is not None:
             self._trace_prefill(request, record, now, compute_time, load_time)
         self._continue_prefill(job, n_slices, duration / n_slices)
@@ -507,7 +554,7 @@ class ServingEngine:
             # Decoding jobs are stalled for this slice (Section 4.2's
             # blocking effect; chunked prefill bounds it).
             self.metrics.record_decode_stall(slice_duration)
-        self.sim.after(
+        self._after_epoch(
             slice_duration,
             lambda: self._on_prefill_slice_done(
                 job, remaining_slices - 1, slice_duration
@@ -602,6 +649,7 @@ class ServingEngine:
 
     def _on_prefill_done(self, job: ActiveJob) -> None:
         # The GPU was already released by the final prefill slice handler.
+        self._prefilling_job = None
         job.decode_wall_start = self.sim.now
         self.batch.add(job)
         self._dispatch()
@@ -629,7 +677,7 @@ class ServingEngine:
                 args={"batch": batch_len, "iters": n_iters},
             )
         self._gpu_occupy(duration)
-        self.sim.after(
+        self._after_epoch(
             duration,
             lambda: self._on_decode_chunk_done(n_iters, duration, batch_len, resume),
         )
@@ -664,7 +712,7 @@ class ServingEngine:
                 )
             # Residual KV write-back blocks the GPU before the next job.
             self._gpu_occupy(blocking_total)
-            self.sim.after(
+            self._after_epoch(
                 blocking_total, lambda: self._on_save_block_done(resume)
             )
         elif resume is not None:
@@ -778,13 +826,81 @@ class ServingEngine:
         return sync_save_blocking_time(save_time)
 
     # ------------------------------------------------------------------
+    # Replica lifecycle (cluster crash/restart entry points)
+    # ------------------------------------------------------------------
+    def crash(self, now: float) -> list[TurnRequest]:
+        """Kill the replica: wipe volatile state and abort in-flight work.
+
+        Returns the interrupted turn requests (queued, mid-prefill and
+        mid-decode) in arrival order, so the cluster can fail them over to
+        healthy peers or park them for resubmission at restart.  Already-
+        scheduled continuations of the aborted GPU work are invalidated by
+        bumping the crash epoch (closures cannot be unscheduled); pending
+        think-time callbacks survive — clients keep typing while the
+        server is down.  GPU-busy time the aborted work already recorded
+        stays recorded: the GPU really burned it.
+        """
+        self._epoch += 1
+        interrupted: list[TurnRequest] = []
+        while self.queue:
+            interrupted.append(self.queue.pop())
+        if self._prefilling_job is not None:
+            interrupted.append(self._prefilling_job.request)
+            self._prefilling_job = None
+        interrupted.extend(job.request for job in self.batch.jobs)
+        self.batch = BatchState(self.config.batch_size)
+        self._gpu_busy = False
+        self._hbm_reserved_tokens = 0
+        self._active_sessions.clear()
+        if self.store is not None:
+            self.store.wipe_volatile(now)
+        interrupted.sort(key=lambda r: (r.arrival_time, r.global_turn))
+        return interrupted
+
+    def restart(
+        self, now: float, keep: Callable[[int], bool] | None = None
+    ) -> tuple[int, int]:
+        """Bring a crashed replica back up, re-admitting surviving SSD KV.
+
+        ``keep`` filters which parked sessions' caches return (the cluster
+        rejects sessions that failed over during the downtime — their
+        authoritative copy lives at the new home now).  Re-arms the TTL
+        sweep under the post-crash epoch; tier-loss events were scheduled
+        at absolute times and need no re-arming.  Returns the
+        ``(readmitted, discarded)`` item counts.
+        """
+        readmitted = discarded = 0
+        if self.store is not None:
+            readmitted, discarded = self.store.restore_offline(now, keep)
+            if self.store.config.ttl_seconds is not None:
+                self._after_epoch(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+        return readmitted, discarded
+
+    # ------------------------------------------------------------------
     # Background maintenance
     # ------------------------------------------------------------------
+    def _after_epoch(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule a continuation that a crash invalidates.
+
+        Captures the current crash epoch; when the event fires after an
+        intervening :meth:`crash`, it no-ops — the aborted prefill or
+        decode must not release a GPU the restarted replica never
+        occupied.  With no crashes scheduled the epoch never changes and
+        this is exactly ``sim.after``.
+        """
+        epoch = self._epoch
+
+        def fire() -> None:
+            if self._epoch == epoch:
+                callback()
+
+        self.sim.after(delay, fire)
+
     def _ttl_sweep(self) -> None:
         assert self.store is not None
         self.store.sweep_expired(self.sim.now)
         if self._remaining_sessions > 0:
-            self.sim.after(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+            self._after_epoch(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
 
     # ------------------------------------------------------------------
     # GPU occupancy bookkeeping

@@ -20,6 +20,9 @@ class TurnRequest:
     arrival_time: float
     global_turn: int
     seq: int = -1
+    #: The turn was interrupted by a replica crash and re-routed here; its
+    #: history must be recomputed (the KV copy died with the old replica).
+    failover: bool = False
 
     def __post_init__(self) -> None:
         if self.q_tokens <= 0:

@@ -27,6 +27,7 @@ from .config import (
 )
 from .health import BreakerState, TierHealth
 from .injector import FaultInjector
+from .replica import ReplicaCrash, ReplicaDrain, ReplicaFaultSchedule
 
 __all__ = [
     "BreakerState",
@@ -34,6 +35,9 @@ __all__ = [
     "FAULT_PROFILES",
     "FaultConfig",
     "FaultInjector",
+    "ReplicaCrash",
+    "ReplicaDrain",
+    "ReplicaFaultSchedule",
     "TIER_NAMES",
     "TierHealth",
     "TierLossEvent",

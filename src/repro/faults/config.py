@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .replica import ReplicaCrash, ReplicaDrain, ReplicaFaultSchedule
+
 #: Tier names accepted by :class:`TierLossEvent` (string-typed so this
 #: package stays import-free of :mod:`repro.store`).
 TIER_NAMES = ("hbm", "dram", "disk")
@@ -101,8 +103,16 @@ class FaultConfig:
     #: Per-save probability that the stored KV is silently lost before its
     #: next use (plain miss at lookup).
     loss_rate: float = 0.0
+    #: Per-transfer probability that an inter-host (cluster-net) KV
+    #: migration fails transiently; only meaningful in cluster runs.
+    net_fault_rate: float = 0.0
     degraded_windows: tuple[DegradedWindow, ...] = ()
     tier_loss_events: tuple[TierLossEvent, ...] = ()
+    #: Cluster-level replica crash/drain events.  Consumed by
+    #: :class:`~repro.cluster.ClusterEngine` (which strips it from the
+    #: per-replica configs); a standalone engine has no replicas to kill
+    #: and rejects a schedule-bearing config.
+    replica_schedule: ReplicaFaultSchedule | None = None
     #: Retry budget for transient transfer failures.
     max_retries: int = 3
     #: Base backoff before the first retry (seconds); doubles per attempt.
@@ -114,7 +124,13 @@ class FaultConfig:
     breaker_cooldown: float = 30.0
 
     def __post_init__(self) -> None:
-        for attr in ("ssd_fault_rate", "pcie_fault_rate", "corruption_rate", "loss_rate"):
+        for attr in (
+            "ssd_fault_rate",
+            "pcie_fault_rate",
+            "corruption_rate",
+            "loss_rate",
+            "net_fault_rate",
+        ):
             value = getattr(self, attr)
             if not (0.0 <= value <= 1.0):
                 raise ValueError(f"{attr} must be in [0, 1], got {value}")
@@ -139,8 +155,13 @@ class FaultConfig:
             or self.pcie_fault_rate > 0.0
             or self.corruption_rate > 0.0
             or self.loss_rate > 0.0
+            or self.net_fault_rate > 0.0
             or bool(self.degraded_windows)
             or bool(self.tier_loss_events)
+            or (
+                self.replica_schedule is not None
+                and self.replica_schedule.enabled
+            )
         )
 
     def backoff(self, attempt: int) -> float:
@@ -151,7 +172,7 @@ class FaultConfig:
 
 
 #: CLI-facing preset names (``repro run --fault-profile ...``).
-FAULT_PROFILES = ("none", "flaky-ssd", "degraded-ssd", "chaos")
+FAULT_PROFILES = ("none", "flaky-ssd", "degraded-ssd", "chaos", "chaos-cluster")
 
 
 def fault_profile(name: str, seed: int = 0) -> FaultConfig | None:
@@ -162,6 +183,11 @@ def fault_profile(name: str, seed: int = 0) -> FaultConfig | None:
     * ``degraded-ssd`` — SSD at 20 % bandwidth for 2 minutes in every 10.
     * ``chaos`` — flaky SSD and PCIe, 2 % KV corruption, 1 % silent loss,
       periodic SSD degradation and a DRAM wipe 15 minutes in.
+    * ``chaos-cluster`` — flaky SSD, a flaky inter-host link, plus replica
+      lifecycle events: replica 1 crashes 10 minutes in (90 s downtime)
+      and replica 0 drains 40 minutes in.  Requires a cluster run whose
+      ``--instances`` covers the scheduled replicas (>= 2 here); a
+      single-engine run has no replicas to kill and rejects the profile.
     """
     if name == "none":
         return None
@@ -185,5 +211,15 @@ def fault_profile(name: str, seed: int = 0) -> FaultConfig | None:
                 DegradedWindow(start=120.0, duration=90.0, factor=0.2, period=900.0),
             ),
             tier_loss_events=(TierLossEvent(at=900.0, tier="dram"),),
+        )
+    if name == "chaos-cluster":
+        return FaultConfig(
+            seed=seed,
+            ssd_fault_rate=0.02,
+            net_fault_rate=0.02,
+            replica_schedule=ReplicaFaultSchedule(
+                crashes=(ReplicaCrash(at=600.0, replica=1, downtime=90.0),),
+                drains=(ReplicaDrain(at=2400.0, replica=0),),
+            ),
         )
     raise ValueError(f"unknown fault profile {name!r}; choose from {FAULT_PROFILES}")

@@ -33,6 +33,8 @@ class FaultInjector:
             return self.config.ssd_fault_rate
         if channel.startswith("pcie"):
             return self.config.pcie_fault_rate
+        if channel == "cluster-net":
+            return self.config.net_fault_rate
         return 0.0
 
     def transfer_fails(self, channel: str, now: float) -> bool:

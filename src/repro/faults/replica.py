@@ -1,0 +1,127 @@
+"""Replica-level fault scheduling: crash, restart and drain events.
+
+PR 1's fault classes degrade a replica *internally* (flaky transfers,
+corrupt KV items); this module lets a replica *die*.  A
+:class:`ReplicaFaultSchedule` holds the cluster-level lifecycle events of
+one run:
+
+* :class:`ReplicaCrash` — at ``at`` the replica's volatile state (HBM and
+  DRAM KV, queued and in-flight turns) is wiped; the SSD tier physically
+  survives and is re-admitted when the replica restarts ``downtime``
+  seconds later;
+* :class:`ReplicaDrain` — at ``at`` the replica stops admitting sessions,
+  migrates its live sessions to healthy peers over the cluster network,
+  and stops once none remain.
+
+Schedules are plain data: event times are explicit, so a (trace, schedule)
+pair replays identically.  :meth:`ReplicaFaultSchedule.random_crashes`
+derives a schedule from a seed for chaos-style sweeps — the draw uses a
+dedicated ``random.Random``, never global state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """One scheduled replica crash (volatile wipe) and its downtime."""
+
+    at: float
+    replica: int
+    downtime: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+        if self.downtime <= 0:
+            raise ValueError(f"downtime must be positive, got {self.downtime}")
+
+    @property
+    def restart_at(self) -> float:
+        return self.at + self.downtime
+
+
+@dataclass(frozen=True)
+class ReplicaDrain:
+    """One scheduled graceful drain of a replica."""
+
+    at: float
+    replica: int
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+
+
+@dataclass(frozen=True)
+class ReplicaFaultSchedule:
+    """The replica lifecycle events of one cluster run."""
+
+    crashes: tuple[ReplicaCrash, ...] = ()
+    drains: tuple[ReplicaDrain, ...] = ()
+
+    @property
+    def enabled(self) -> bool:
+        """True when the schedule contains at least one event."""
+        return bool(self.crashes or self.drains)
+
+    @property
+    def max_replica(self) -> int:
+        """Highest replica index any event names (-1 for an empty schedule)."""
+        indices = [e.replica for e in self.crashes] + [
+            e.replica for e in self.drains
+        ]
+        return max(indices) if indices else -1
+
+    def validate_for(self, n_instances: int) -> None:
+        """Raise if any event targets a replica the cluster does not have."""
+        if self.max_replica >= n_instances:
+            raise ValueError(
+                f"replica fault schedule targets replica {self.max_replica} "
+                f"but the cluster has only {n_instances} instance(s)"
+            )
+
+    @classmethod
+    def random_crashes(
+        cls,
+        seed: int,
+        n_replicas: int,
+        n_crashes: int,
+        horizon: float,
+        downtime: float = 60.0,
+        start: float = 0.0,
+    ) -> "ReplicaFaultSchedule":
+        """Derive a seeded crash schedule (chaos-style sweeps).
+
+        Draws ``n_crashes`` (replica, time) pairs uniformly from a
+        dedicated ``random.Random(seed)``; times land in
+        ``[start, horizon)`` and are sorted so the schedule reads in
+        event order.  Purely a convenience — the result is ordinary
+        explicit event data.
+        """
+        if n_replicas <= 0:
+            raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+        if horizon <= start:
+            raise ValueError(
+                f"horizon ({horizon}) must exceed start ({start})"
+            )
+        rng = random.Random(seed)
+        crashes = sorted(
+            (
+                ReplicaCrash(
+                    at=rng.uniform(start, horizon),
+                    replica=rng.randrange(n_replicas),
+                    downtime=downtime,
+                )
+                for _ in range(n_crashes)
+            ),
+            key=lambda c: (c.at, c.replica),
+        )
+        return cls(crashes=tuple(crashes))

@@ -39,9 +39,16 @@ DEFAULT_CLUSTER_PACKAGES = ("repro.cluster",)
 
 #: The only attributes cluster code may reach on a replica's store: the
 #: migration API of AttentionStore (plus ``discard_stale`` /
-#: ``record_migration_loss``, the bookkeeping half of the same contract).
+#: ``record_migration_loss``, the bookkeeping half of the same contract,
+#: and ``decommission``, the drain-time release of whatever remains).
 DEFAULT_STORE_MIGRATION_API = frozenset(
-    {"extract", "admit_migrated", "discard_stale", "record_migration_loss"}
+    {
+        "extract",
+        "admit_migrated",
+        "discard_stale",
+        "record_migration_loss",
+        "decommission",
+    }
 )
 
 

@@ -86,6 +86,19 @@ def collect_cluster_metrics(cluster: "ClusterEngine") -> MetricsRegistry:
     registry.counter("cluster.migrated_bytes", result.migrated_bytes)
     registry.counter("cluster.scatter_drops", result.scatter_drops)
     registry.counter("cluster.sim.events_processed", result.events_processed)
+    # Replica-lifecycle outcomes (all zero without a fault schedule).
+    registry.counter("cluster.crashes", result.crashes)
+    registry.counter("cluster.restarts", result.restarts)
+    registry.counter("cluster.drains", result.drains)
+    registry.counter("cluster.lost_turns", result.lost_turns)
+    registry.counter("cluster.failovers", result.failovers)
+    registry.counter("cluster.failover_retries", result.failover_retries)
+    registry.counter("cluster.parked_turns", result.parked_turns)
+    registry.counter(
+        "cluster.failover_recompute_tokens", result.failover_recompute_tokens
+    )
+    registry.gauge("cluster.total_downtime_s", result.total_downtime_s)
+    registry.gauge("cluster.mttr_s", result.mttr_s)
     _collect_channel(cluster.net, registry, "cluster.", summary.makespan)
     for engine in cluster.engines:
         collect_engine_metrics(engine, registry, prefix=f"{engine.name}.")

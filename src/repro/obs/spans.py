@@ -32,6 +32,9 @@ name            category  meaning
 ``evict-spill`` store     DRAM -> disk demotion of a victim item
 ``prefetch``    store     scheduler-aware disk -> DRAM fetch (§3.3.1)
 ``migrate``     cluster   KV migration between replicas
+``crash``       cluster   replica downtime window (crash -> restart)
+``failover``    cluster   orphaned turn re-routed to a healthy replica
+``drain``       cluster   graceful drain window (begin -> stopped)
 ``turn``        turn      whole-turn latency (async span)
 ==============  ========  ==========================================
 """

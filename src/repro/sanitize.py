@@ -196,6 +196,9 @@ class SimSanitizer:
         "extract",
         "admit_migrated",
         "lose_tier",
+        "wipe_volatile",
+        "restore_offline",
+        "decommission",
         "prefetch",
         "complete_fetch",
         "sweep_expired",
@@ -311,12 +314,45 @@ def install_cluster(cluster: ClusterEngine) -> SimSanitizer:
         lambda: check_exactly_one_copy(cluster.engines),
     )
 
+    # Local import: repro.sanitize is imported by repro.engine, which the
+    # cluster package imports — by the time a cluster exists, the cycle
+    # has resolved.
+    from .cluster.lifecycle import ReplicaState
+
+    def down_replicas_quiesced() -> None:
+        """A crashed replica must hold nothing: no queued or batched
+        work, no busy GPU, an empty store (SSD items are parked offline,
+        not resident) — anything left would serve from a dead host."""
+        for index, life in enumerate(cluster.lifecycles):
+            if life.state is not ReplicaState.DOWN:
+                continue
+            engine = cluster.engines[index]
+            assert not engine._gpu_busy, (
+                f"replica {index} is down but its GPU is busy"
+            )
+            assert not engine.queue, (
+                f"replica {index} is down but has queued requests"
+            )
+            assert not engine.batch, (
+                f"replica {index} is down but has batched jobs"
+            )
+            if engine.store is not None:
+                assert len(engine.store) == 0, (
+                    f"replica {index} is down but its store holds "
+                    f"{len(engine.store)} items"
+                )
+
+    simsan.add_stride_check("down replicas quiesced", down_replicas_quiesced)
+
     orig_move = cluster._move_kv
 
     def checked_move(
-        source: ServingEngine, target: ServingEngine, session_id: int
+        source: ServingEngine,
+        target: ServingEngine,
+        session_id: int,
+        force: bool = False,
     ) -> None:
-        orig_move(source, target, session_id)
+        orig_move(source, target, session_id, force)
         check_exactly_one_copy(cluster.engines, session_id)
 
     cluster._move_kv = checked_move  # type: ignore[method-assign]

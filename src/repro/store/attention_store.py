@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import TYPE_CHECKING, AbstractSet, KeysView
+from typing import TYPE_CHECKING, AbstractSet, Callable, KeysView
 
 from ..config import EvictionPolicyName, StoreConfig
 from ..faults import FaultInjector, TierHealth
@@ -100,6 +100,9 @@ class StoreStats:
     migrations_out: int = 0
     migrated_bytes_out: int = 0
     scatter_drops: int = 0
+    # Replica-lifecycle counters (zero unless crashes are scheduled):
+    restart_readmissions: int = 0
+    restart_discards: int = 0
 
 
 def make_policy(
@@ -167,6 +170,10 @@ class AttentionStore:
         # blocks the disk does not hold yet (saves re-spill bandwidth when
         # a prefetched session returns with one extra turn appended).
         self._disk_written_tokens: dict[int, int] = {}
+        # SSD items parked by wipe_volatile() while the replica is down:
+        # (item, disk_written_tokens) pairs, off the store's books until
+        # restore_offline() re-admits them.
+        self._offline: list[tuple[KVCacheItem, int]] = []
         # Optional span tracer (repro.obs): installed from outside via
         # SpanTracer.attach_engine; pure observation of tier movement.
         self.tracer: "SpanTracer | None" = None
@@ -506,6 +513,19 @@ class AttentionStore:
         self.stats.scatter_drops += 1
         return True
 
+    def decommission(self) -> int:
+        """Drop every resident item when the owning replica shuts down.
+
+        Part of the migration API: a graceful drain migrates live
+        sessions out first, then calls this to release whatever remains
+        (finished sessions' KV no future turn will read).  Returns the
+        number of items dropped.
+        """
+        sessions = list(self._items)
+        for session_id in sessions:
+            self.drop(session_id)
+        return len(sessions)
+
     def record_migration_loss(self) -> None:
         """Count a migrating copy lost in transit (faulty inter-host link).
 
@@ -704,6 +724,84 @@ class AttentionStore:
         self.stats.lost_items += len(victims)
         return len(victims)
 
+    def wipe_volatile(self, now: float) -> tuple[int, int]:
+        """Crash the replica's volatile storage (HBM and DRAM at once).
+
+        Every HBM/DRAM-resident item is lost (counted in ``lost_items``).
+        Disk-resident items physically survive the crash but are
+        unreachable until the replica restarts, so they are *parked
+        offline*: removed from the store's books entirely (lookups miss
+        and :meth:`extract` returns None for the whole downtime) and held
+        on a side list for :meth:`restore_offline`.  Returns the
+        ``(lost, parked)`` item counts.
+        """
+        volatile = [
+            item for item in self._items.values() if item.tier is not Tier.DISK
+        ]
+        for item in volatile:
+            self._drop_item(item)
+        self.stats.lost_items += len(volatile)
+        parked = list(self.disk_tier.iter_fifo())
+        for item in parked:
+            written = self._disk_written_tokens.pop(item.session_id, 0)
+            self.disk_tier.remove(item.session_id)
+            del self._items[item.session_id]
+            self._total_item_bytes -= item.n_bytes
+            item.fetch_in_flight = False
+            self._offline.append((item, written))
+        if self.tracer is not None:
+            self._trace_occupancy(now)
+        return len(volatile), len(parked)
+
+    def restore_offline(
+        self, now: float, keep: "Callable[[int], bool] | None" = None
+    ) -> tuple[int, int]:
+        """Re-admit the surviving SSD items parked by :meth:`wipe_volatile`.
+
+        Called at replica restart.  Items whose session ``keep`` rejects
+        (typically because the session failed over to a peer during the
+        downtime, making that peer's copy authoritative) are discarded so
+        the exactly-one-copy invariant holds across the restart.
+        Re-admitted items count TTL from the restart, not from their
+        pre-crash access.  Returns ``(readmitted, discarded)`` counts.
+        """
+        readmitted = discarded = 0
+        parked, self._offline = self._offline, []
+        for item, written in parked:
+            if keep is not None and not keep(item.session_id):
+                self.stats.restart_discards += 1
+                discarded += 1
+                continue
+            if item.session_id in self._items:
+                # A fresh copy was written since the crash; the live copy
+                # is authoritative and the parked one is stale.
+                self.stats.restart_discards += 1
+                discarded += 1
+                continue
+            try:
+                self.disk_tier.admit(item)
+            except OutOfBlocksError:
+                # Should not happen (the wipe emptied the disk tier), but
+                # degrade to a discard rather than crash the restart.
+                self.stats.restart_discards += 1
+                discarded += 1
+                continue
+            self._items[item.session_id] = item
+            self._total_item_bytes += item.n_bytes
+            if written:
+                self._disk_written_tokens[item.session_id] = written
+            item.touch(now)
+            self.stats.restart_readmissions += 1
+            readmitted += 1
+        if parked and self.tracer is not None:
+            self._trace_occupancy(now)
+        return readmitted, discarded
+
+    @property
+    def offline_items(self) -> int:
+        """Items parked by :meth:`wipe_volatile`, awaiting restart."""
+        return len(self._offline)
+
     # ------------------------------------------------------------------
     # Prefetch
     # ------------------------------------------------------------------
@@ -901,4 +999,8 @@ class AttentionStore:
             assert written <= item.n_tokens, (
                 f"session {session_id}: disk_written_tokens {written} > "
                 f"n_tokens {item.n_tokens}"
+            )
+        for item, _written in self._offline:
+            assert item.session_id not in self._items, (
+                f"session {item.session_id} both resident and parked offline"
             )

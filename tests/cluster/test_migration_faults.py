@@ -1,0 +1,151 @@
+"""Faults firing *during* cluster KV migration (``net_fault_rate``).
+
+The inter-host link gets its own fault injector: a migrating copy can be
+lost in transit.  The extracting side already removed the item, so the
+loss must degrade gracefully — the next turn recomputes its history at
+the target — while the exactly-one-copy invariant holds throughout (no
+replica may end up with a duplicate or resurrect the lost copy).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterEngine, RouterName
+from repro.config import EngineConfig, StoreConfig
+from repro.faults import FaultConfig, ReplicaDrain, ReplicaFaultSchedule
+from repro.models import get_model
+from repro.workload import WorkloadSpec, generate_trace
+
+
+def cluster_trace(n_sessions=120, rate=4.0, seed=7):
+    return generate_trace(
+        WorkloadSpec(n_sessions=n_sessions, arrival_rate=rate, seed=seed)
+    )
+
+
+def run_faulty(
+    router,
+    *,
+    net_fault_rate,
+    trace=None,
+    n_instances=4,
+    schedule=None,
+    sanitize=None,
+    **cluster_kwargs,
+):
+    engine = ClusterEngine(
+        get_model("llama-13b"),
+        cluster=ClusterConfig(
+            n_instances=n_instances, router=router, **cluster_kwargs
+        ),
+        engine_config=EngineConfig(batch_size=8),
+        store_config=StoreConfig(),
+        fault_config=FaultConfig(
+            seed=3, net_fault_rate=net_fault_rate, replica_schedule=schedule
+        ),
+        sanitize=sanitize,
+    )
+    result = engine.run(trace if trace is not None else cluster_trace())
+    return engine, result
+
+
+def assert_one_copy(engine):
+    holders = {}
+    for index, replica in enumerate(engine.engines):
+        replica.store.check_invariants()
+        for session_id in replica.store.resident_sessions():
+            assert session_id not in holders, (
+                f"session {session_id} cached on replicas "
+                f"{holders[session_id]} and {index}"
+            )
+            holders[session_id] = index
+
+
+class TestMigrationLoss:
+    def test_lost_migrations_degrade_to_recompute(self):
+        trace = cluster_trace()
+        engine, result = run_faulty(
+            RouterName.AFFINITY,
+            net_fault_rate=0.5,
+            trace=trace,
+            affinity_spill_tokens=0,
+            sanitize=True,
+        )
+        faults = sum(
+            e.store.stats.transfer_faults for e in engine.engines
+        )
+        assert faults > 0
+        # Every turn is still served: lost history recomputes.
+        assert result.summary.n_turns == trace.n_turns_total
+        assert result.summary.fallbacks + result.summary.misses > 0
+        assert_one_copy(engine)
+
+    def test_net_faults_fire_during_drain_migration(self):
+        trace = cluster_trace()
+        schedule = ReplicaFaultSchedule(
+            drains=(ReplicaDrain(at=60.0, replica=0),)
+        )
+        engine, result = run_faulty(
+            RouterName.AFFINITY,
+            net_fault_rate=0.5,
+            trace=trace,
+            schedule=schedule,
+            sanitize=True,
+        )
+        assert result.summary.n_turns == trace.n_turns_total
+        assert result.drains == 1
+        # The drained replica kept nothing, lost copies included.
+        assert len(engine.engines[0].store) == 0
+        assert_one_copy(engine)
+
+    def test_zero_rate_builds_no_injector(self):
+        engine, _ = run_faulty(
+            RouterName.AFFINITY, net_fault_rate=0.0, trace=cluster_trace(20)
+        )
+        assert engine.net_faults is None
+        assert engine.net.fault_hook is None
+
+    def test_faulty_runs_are_deterministic(self):
+        def snapshot(result):
+            return (
+                dataclasses.asdict(result.summary),
+                [
+                    dataclasses.asdict(r.store_stats)
+                    for r in result.replicas
+                    if r.store_stats is not None
+                ],
+                result.migrations,
+                result.events_processed,
+            )
+
+        a = run_faulty(
+            RouterName.AFFINITY,
+            net_fault_rate=0.3,
+            trace=cluster_trace(),
+            affinity_spill_tokens=0,
+        )[1]
+        b = run_faulty(
+            RouterName.AFFINITY,
+            net_fault_rate=0.3,
+            trace=cluster_trace(),
+            affinity_spill_tokens=0,
+        )[1]
+        assert snapshot(a) == snapshot(b)
+
+
+class TestScatterRoutersUnderFaults:
+    @pytest.mark.parametrize(
+        "router", [RouterName.ROUND_ROBIN, RouterName.LEAST_LOADED]
+    )
+    def test_oblivious_routers_still_drop_stale_copies(self, router):
+        trace = cluster_trace()
+        engine, result = run_faulty(
+            router, net_fault_rate=0.5, trace=trace, sanitize=True
+        )
+        # Oblivious routers never migrate, so the link's fault injector
+        # has nothing to corrupt: drops are local and unconditional.
+        assert result.scatter_drops > 0
+        assert result.migrations == 0
+        assert result.summary.n_turns == trace.n_turns_total
+        assert_one_copy(engine)

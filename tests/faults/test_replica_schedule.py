@@ -1,0 +1,194 @@
+"""Replica-level fault scheduling: crash/drain events and their config.
+
+Covers the schedule dataclasses (validation, determinism of the random
+generator), the ``chaos-cluster`` preset, the per-replica fault-seed
+derivation (adding replicas must never reshuffle another replica's fault
+stream), and the standalone-engine guard (replica schedules are
+cluster-level).
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterEngine, RouterName
+from repro.config import EngineConfig, StoreConfig
+from repro.engine import ServingEngine
+from repro.faults import (
+    FAULT_PROFILES,
+    FaultConfig,
+    ReplicaCrash,
+    ReplicaDrain,
+    ReplicaFaultSchedule,
+    fault_profile,
+)
+from repro.models import get_model
+from repro.runner.seeds import seed_for
+
+
+class TestReplicaCrash:
+    def test_restart_at(self):
+        crash = ReplicaCrash(at=100.0, replica=1, downtime=30.0)
+        assert crash.restart_at == 130.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"at": -1.0, "replica": 0},
+            {"at": 0.0, "replica": -1},
+            {"at": 0.0, "replica": 0, "downtime": 0.0},
+            {"at": 0.0, "replica": 0, "downtime": -5.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ReplicaCrash(**kwargs)
+
+    def test_drain_validation(self):
+        with pytest.raises(ValueError):
+            ReplicaDrain(at=-1.0, replica=0)
+        with pytest.raises(ValueError):
+            ReplicaDrain(at=0.0, replica=-2)
+
+
+class TestReplicaFaultSchedule:
+    def test_empty_schedule_is_inert(self):
+        schedule = ReplicaFaultSchedule()
+        assert not schedule.enabled
+        assert not FaultConfig(replica_schedule=schedule).enabled
+
+    def test_any_event_enables(self):
+        crash = ReplicaCrash(at=1.0, replica=0)
+        drain = ReplicaDrain(at=1.0, replica=0)
+        assert ReplicaFaultSchedule(crashes=(crash,)).enabled
+        assert ReplicaFaultSchedule(drains=(drain,)).enabled
+        assert FaultConfig(
+            replica_schedule=ReplicaFaultSchedule(crashes=(crash,))
+        ).enabled
+
+    def test_max_replica_spans_crashes_and_drains(self):
+        schedule = ReplicaFaultSchedule(
+            crashes=(ReplicaCrash(at=1.0, replica=2),),
+            drains=(ReplicaDrain(at=2.0, replica=5),),
+        )
+        assert schedule.max_replica == 5
+
+    def test_validate_for_rejects_small_clusters(self):
+        schedule = ReplicaFaultSchedule(
+            crashes=(ReplicaCrash(at=1.0, replica=3),)
+        )
+        schedule.validate_for(4)
+        with pytest.raises(ValueError):
+            schedule.validate_for(3)
+
+    def test_random_crashes_is_deterministic(self):
+        a = ReplicaFaultSchedule.random_crashes(
+            seed=9, n_replicas=4, n_crashes=6, horizon=3600.0
+        )
+        b = ReplicaFaultSchedule.random_crashes(
+            seed=9, n_replicas=4, n_crashes=6, horizon=3600.0
+        )
+        assert a == b
+        assert len(a.crashes) == 6
+        assert a.crashes == tuple(
+            sorted(a.crashes, key=lambda c: (c.at, c.replica))
+        )
+        assert all(0 <= c.replica < 4 for c in a.crashes)
+        assert all(0.0 <= c.at <= 3600.0 for c in a.crashes)
+
+    def test_random_crashes_vary_with_seed(self):
+        a = ReplicaFaultSchedule.random_crashes(
+            seed=9, n_replicas=4, n_crashes=6, horizon=3600.0
+        )
+        b = ReplicaFaultSchedule.random_crashes(
+            seed=10, n_replicas=4, n_crashes=6, horizon=3600.0
+        )
+        assert a != b
+
+
+class TestNetFaultRate:
+    def test_validated_as_probability(self):
+        with pytest.raises(ValueError):
+            FaultConfig(net_fault_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultConfig(net_fault_rate=1.5)
+
+    def test_enables(self):
+        assert FaultConfig(net_fault_rate=0.01).enabled
+
+
+class TestChaosClusterProfile:
+    def test_registered(self):
+        assert "chaos-cluster" in FAULT_PROFILES
+
+    def test_contents(self):
+        config = fault_profile("chaos-cluster", seed=5)
+        assert config.seed == 5
+        assert config.net_fault_rate > 0.0
+        schedule = config.replica_schedule
+        assert schedule is not None and schedule.enabled
+        assert len(schedule.crashes) == 1
+        assert len(schedule.drains) == 1
+        # The built-in schedule needs at least two replicas.
+        assert schedule.max_replica == 1
+        with pytest.raises(ValueError):
+            schedule.validate_for(1)
+
+
+class TestSeedDerivation:
+    """Satellite: per-replica fault seeds derive from the experiment
+    seed and the replica *name*, not ``seed + i`` — adding a replica
+    must never reshuffle an existing replica's fault stream."""
+
+    def _cluster(self, n):
+        return ClusterEngine(
+            get_model("llama-13b"),
+            cluster=ClusterConfig(n_instances=n, router=RouterName.AFFINITY),
+            engine_config=EngineConfig(batch_size=8),
+            store_config=StoreConfig(),
+            fault_config=FaultConfig(seed=11, ssd_fault_rate=0.01),
+        )
+
+    def test_replica_seeds_are_derived(self):
+        cluster = self._cluster(3)
+        for i, engine in enumerate(cluster.engines):
+            assert engine.fault_config is not None
+            assert engine.fault_config.seed == seed_for(11, f"replica-{i}")
+
+    def test_growing_the_cluster_keeps_existing_streams(self):
+        small = self._cluster(2)
+        large = self._cluster(4)
+        for i in range(2):
+            assert (
+                small.engines[i].fault_config.seed
+                == large.engines[i].fault_config.seed
+            )
+
+    def test_single_instance_keeps_base_seed(self):
+        cluster = self._cluster(1)
+        assert cluster.engines[0].fault_config.seed == 11
+
+
+class TestStandaloneGuard:
+    def test_serving_engine_rejects_replica_schedules(self):
+        schedule = ReplicaFaultSchedule(
+            crashes=(ReplicaCrash(at=1.0, replica=0),)
+        )
+        with pytest.raises(ValueError, match="cluster-level"):
+            ServingEngine(
+                get_model("llama-13b"),
+                engine_config=EngineConfig(batch_size=8),
+                store_config=StoreConfig(),
+                fault_config=FaultConfig(replica_schedule=schedule),
+            )
+
+    def test_cluster_rejects_undersized_topology(self):
+        schedule = ReplicaFaultSchedule(
+            crashes=(ReplicaCrash(at=1.0, replica=2),)
+        )
+        with pytest.raises(ValueError):
+            ClusterEngine(
+                get_model("llama-13b"),
+                cluster=ClusterConfig(n_instances=2),
+                engine_config=EngineConfig(batch_size=8),
+                store_config=StoreConfig(),
+                fault_config=FaultConfig(replica_schedule=schedule),
+            )

@@ -12,6 +12,12 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.cluster import ClusterConfig, ClusterEngine, RouterName
 from repro.config import EngineConfig, StoreConfig
 from repro.engine import ServingEngine
+from repro.faults import (
+    FaultConfig,
+    ReplicaCrash,
+    ReplicaDrain,
+    ReplicaFaultSchedule,
+)
 from repro.models import MiB, get_model
 from repro.obs import EventLoopProfiler, SpanTracer
 from repro.workload import WorkloadSpec, generate_trace
@@ -68,12 +74,13 @@ class TestEngineBitIdentity:
 
 
 class TestClusterBitIdentity:
-    def run_cluster(self, instrumented):
+    def run_cluster(self, instrumented, fault_config=None):
         cluster = ClusterEngine(
             get_model("llama-13b"),
             cluster=ClusterConfig(n_instances=2, router=RouterName.AFFINITY),
             engine_config=EngineConfig(batch_size=8),
             store_config=StoreConfig(),
+            fault_config=fault_config,
         )
         if instrumented:
             SpanTracer().attach_cluster(cluster)
@@ -83,3 +90,16 @@ class TestClusterBitIdentity:
 
     def test_instrumented_cluster_run_is_bit_identical(self):
         assert self.run_cluster(False) == self.run_cluster(True)
+
+    def test_instrumented_chaos_run_is_bit_identical(self):
+        """Crash/failover/drain span emission is pure observation too."""
+        faults = FaultConfig(
+            seed=3,
+            replica_schedule=ReplicaFaultSchedule(
+                crashes=(ReplicaCrash(at=20.0, replica=1, downtime=30.0),),
+                drains=(ReplicaDrain(at=90.0, replica=0),),
+            ),
+        )
+        assert self.run_cluster(False, faults) == self.run_cluster(
+            True, faults
+        )

@@ -13,6 +13,12 @@ import pytest
 
 from repro.cluster import ClusterConfig, ClusterEngine, RouterName
 from repro.config import EngineConfig, StoreConfig
+from repro.faults import (
+    FaultConfig,
+    ReplicaCrash,
+    ReplicaDrain,
+    ReplicaFaultSchedule,
+)
 from repro.models import MiB, get_model
 from repro.obs import SpanTracer, to_chrome_trace, write_chrome_trace
 from repro.workload import WorkloadSpec, generate_trace
@@ -55,6 +61,29 @@ def traced_cluster_run(n_sessions=60, seed=5):
     return tracer
 
 
+def traced_chaos_run(n_sessions=80, seed=7):
+    """A cluster run through a crash→restart window plus a drain."""
+    schedule = ReplicaFaultSchedule(
+        crashes=(ReplicaCrash(at=30.0, replica=1, downtime=40.0),),
+        drains=(ReplicaDrain(at=120.0, replica=0),),
+    )
+    cluster = ClusterEngine(
+        get_model("llama-13b"),
+        cluster=ClusterConfig(n_instances=3, router=RouterName.AFFINITY),
+        engine_config=EngineConfig(batch_size=8),
+        store_config=StoreConfig(),
+        fault_config=FaultConfig(seed=3, replica_schedule=schedule),
+    )
+    tracer = SpanTracer()
+    tracer.attach_cluster(cluster)
+    cluster.run(
+        generate_trace(
+            WorkloadSpec(n_sessions=n_sessions, arrival_rate=4.0, seed=seed)
+        )
+    )
+    return tracer
+
+
 @pytest.fixture(scope="module")
 def engine_trace():
     return to_chrome_trace(traced_engine_run(dram_mib=600))
@@ -65,12 +94,19 @@ def cluster_trace():
     return to_chrome_trace(traced_cluster_run())
 
 
+@pytest.fixture(scope="module")
+def chaos_trace():
+    return to_chrome_trace(traced_chaos_run())
+
+
 def non_meta_events(trace):
     return [e for e in trace["traceEvents"] if e["ph"] != "M"]
 
 
 class TestGoldenSchema:
-    @pytest.mark.parametrize("fixture", ["engine_trace", "cluster_trace"])
+    @pytest.mark.parametrize(
+        "fixture", ["engine_trace", "cluster_trace", "chaos_trace"]
+    )
     def test_names_and_categories_are_pinned(self, fixture, request):
         trace = request.getfixturevalue(fixture)
         span_names = set(GOLDEN["span_names"])
@@ -90,14 +126,18 @@ class TestGoldenSchema:
             else:
                 pytest.fail(f"unexpected phase {ph!r}")
 
-    @pytest.mark.parametrize("fixture", ["engine_trace", "cluster_trace"])
+    @pytest.mark.parametrize(
+        "fixture", ["engine_trace", "cluster_trace", "chaos_trace"]
+    )
     def test_required_fields_per_phase(self, fixture, request):
         trace = request.getfixturevalue(fixture)
         required = {ph: set(fields) for ph, fields in GOLDEN["required_fields"].items()}
         for event in trace["traceEvents"]:
             assert required[event["ph"]] <= set(event), event
 
-    @pytest.mark.parametrize("fixture", ["engine_trace", "cluster_trace"])
+    @pytest.mark.parametrize(
+        "fixture", ["engine_trace", "cluster_trace", "chaos_trace"]
+    )
     def test_metadata_first_then_monotonic_timestamps(self, fixture, request):
         trace = request.getfixturevalue(fixture)
         events = trace["traceEvents"]
@@ -117,6 +157,22 @@ class TestGoldenSchema:
         names = {e["name"] for e in non_meta_events(engine_trace)}
         assert "evict-spill" in names
         assert "prefetch" in names
+
+    def test_chaos_run_emits_lifecycle_spans(self, chaos_trace):
+        events = non_meta_events(chaos_trace)
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        for name in ("crash", "failover", "drain"):
+            assert name in by_name, f"expected a {name!r} span"
+            assert all(e["cat"] == "cluster" for e in by_name[name])
+        # The crash span is the whole downtime window.
+        crash = by_name["crash"][0]
+        assert crash["dur"] == pytest.approx(40.0 * 1e6)
+        # Failovers happen inside the downtime window.
+        for failover in by_name["failover"]:
+            assert crash["ts"] <= failover["ts"] + failover["dur"]
+            assert failover["ts"] + failover["dur"] <= crash["ts"] + crash["dur"]
 
     def test_async_turn_spans_pair_up(self, engine_trace):
         begins = [e for e in non_meta_events(engine_trace) if e["ph"] == "b"]
