@@ -54,6 +54,15 @@ class BatchState:
         self.capacity = capacity
         self._jobs: dict[int, ActiveJob] = {}
         self._context_sum = 0
+        # Cached min(remaining_tokens) over the batch, or None when it
+        # must be recomputed.  The engine reads it twice per decode chunk
+        # (chunk sizing, then advance validation); a cache turns that
+        # from two O(batch) sweeps into O(1).  Exactness invariant: adds
+        # can only lower the min (min with the newcomer); ``advance``
+        # lowers every job uniformly, and jobs only leave mid-run when
+        # their remaining hits 0 — which is also exactly when the cache
+        # is invalidated.
+        self._min_remaining: int | None = None
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -80,12 +89,19 @@ class BatchState:
             raise ValueError(f"session {job.session_id} already in batch")
         self._jobs[job.session_id] = job
         self._context_sum += job.context_tokens
+        cached = self._min_remaining
+        if cached is not None and job.remaining_tokens < cached:
+            self._min_remaining = job.remaining_tokens
 
     def min_remaining(self) -> int:
         """Fewest decode tokens any active job still needs."""
         if not self._jobs:
             raise RuntimeError("batch is empty")
-        return min(j.remaining_tokens for j in self._jobs.values())
+        cached = self._min_remaining
+        if cached is None:
+            cached = min(j.remaining_tokens for j in self._jobs.values())
+            self._min_remaining = cached
+        return cached
 
     def advance(self, n_iterations: int) -> list[ActiveJob]:
         """Run ``n_iterations`` decode iterations; return jobs that finish.
@@ -93,23 +109,51 @@ class BatchState:
         ``n_iterations`` must not exceed :meth:`min_remaining` — no job may
         overshoot its response length.
         """
+        return self.advance_and_share(n_iterations, 0.0)
+
+    def advance_and_share(
+        self, n_iterations: int, gpu_share: float
+    ) -> list[ActiveJob]:
+        """:meth:`advance` fused with per-job GPU-time accounting.
+
+        Every job that decoded during the chunk — including the ones that
+        finish on its last iteration — has ``gpu_share`` added to its
+        record's ``decode_gpu_share`` in the same pass that advances its
+        token counters, so the engine's chunk completion touches each job
+        once instead of three times.
+        """
         if n_iterations <= 0:
             raise ValueError(
                 f"n_iterations must be positive, got {n_iterations}"
             )
-        if n_iterations > self.min_remaining():
+        min_before = self.min_remaining()
+        if n_iterations > min_before:
             raise ValueError(
                 f"advancing {n_iterations} iterations would overshoot a job "
-                f"with only {self.min_remaining()} tokens remaining"
+                f"with only {min_before} tokens remaining"
             )
         finished: list[ActiveJob] = []
-        for job in self._jobs.values():
-            job.context_tokens += n_iterations
-            job.remaining_tokens -= n_iterations
-            if job.remaining_tokens == 0:
-                finished.append(job)
+        if gpu_share:
+            for job in self._jobs.values():
+                job.context_tokens += n_iterations
+                job.remaining_tokens -= n_iterations
+                job.record.decode_gpu_share += gpu_share
+                if job.remaining_tokens == 0:
+                    finished.append(job)
+        else:
+            for job in self._jobs.values():
+                job.context_tokens += n_iterations
+                job.remaining_tokens -= n_iterations
+                if job.remaining_tokens == 0:
+                    finished.append(job)
         self._context_sum += n_iterations * len(self._jobs)
-        for job in finished:
-            del self._jobs[job.session_id]
-            self._context_sum -= job.context_tokens
+        if finished:
+            # At least one job left the batch; the survivors' min must be
+            # recomputed (lazily, on the next read).
+            self._min_remaining = None
+            for job in finished:
+                del self._jobs[job.session_id]
+                self._context_sum -= job.context_tokens
+        else:
+            self._min_remaining = min_before - n_iterations
         return finished

@@ -125,6 +125,10 @@ class ServingEngine:
         # builds its own, which is behaviourally identical to the original
         # engine-owned construction.
         self.sim = sim if sim is not None else Simulator()
+        # The engine reads the current time on every scheduling decision;
+        # going through the simulator's ``now`` property adds a descriptor
+        # hop per read, so keep a direct reference to the shared clock.
+        self._clock = self.sim.clock
         # PCIe is full duplex: host->device KV loads and device->host KV
         # saves ride independent directions ("dedicated CUDA streams",
         # Section 4.1), so they get separate channels.
@@ -330,7 +334,7 @@ class ServingEngine:
             turn_index=session.next_turn,
             q_tokens=turn.q_tokens,
             a_tokens=turn.a_tokens,
-            arrival_time=self.sim.now if arrival_time is None else arrival_time,
+            arrival_time=self._clock.now if arrival_time is None else arrival_time,
             global_turn=self._turn_counter.next(),
             failover=failover,
         )
@@ -344,7 +348,7 @@ class ServingEngine:
         # The live set is passed directly (no frozenset copy): the store
         # only reads it, and nothing mutates it within a single event.
         pinned = self._active_sessions
-        for session_id, done in self.store.prefetch(self.queue, self.sim.now, pinned):
+        for session_id, done in self.store.prefetch(self.queue, self._clock.now, pinned):
             self.sim.at(
                 done,
                 lambda sid=session_id: self.store.complete_fetch(sid),  # type: ignore[union-attr]
@@ -380,7 +384,7 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def _start_prefill(self, request: TurnRequest) -> None:
         session = self.sessions[request.session_id]
-        now = self.sim.now
+        now = self._clock.now
         outcome = apply_context_window(
             session.history_tokens,
             request.q_tokens,
@@ -587,7 +591,7 @@ class ServingEngine:
         injection (retry budget exhausted, or the SSD breaker is open);
         the caller falls back to recomputing the history.
         """
-        now = self.sim.now
+        now = self._clock.now
         n_bytes = self.model.kv_bytes(n_tokens)
         if status is LookupStatus.HIT_HBM:
             return 0.0
@@ -650,7 +654,7 @@ class ServingEngine:
     def _on_prefill_done(self, job: ActiveJob) -> None:
         # The GPU was already released by the final prefill slice handler.
         self._prefilling_job = None
-        job.decode_wall_start = self.sim.now
+        job.decode_wall_start = self._clock.now
         self.batch.add(job)
         self._dispatch()
 
@@ -666,7 +670,7 @@ class ServingEngine:
         )
         batch_len = len(self.batch)
         if self.tracer is not None:
-            now = self.sim.now
+            now = self._clock.now
             self.tracer.span(
                 "decode",
                 "gpu",
@@ -691,16 +695,16 @@ class ServingEngine:
     ) -> None:
         self._gpu_release()
         share = duration / batch_len
-        finished = self.batch.advance(n_iters)
-        for job in self.batch.jobs:
-            job.record.decode_gpu_share += share
+        # Fused advance + accounting: every job that decoded this chunk
+        # (survivors and finishers alike) is credited ``share`` in the
+        # same pass that moves its token counters.
+        finished = self.batch.advance_and_share(n_iters, share)
         blocking_total = 0.0
         for job in finished:
-            job.record.decode_gpu_share += share
             blocking_total += self._complete_turn(job)
         if blocking_total > 0.0:
             if self.tracer is not None:
-                now = self.sim.now
+                now = self._clock.now
                 self.tracer.span(
                     "save-block",
                     "gpu",
@@ -732,7 +736,7 @@ class ServingEngine:
     # ------------------------------------------------------------------
     def _complete_turn(self, job: ActiveJob) -> float:
         """Finish a turn; return any GPU blocking from KV saving."""
-        now = self.sim.now
+        now = self._clock.now
         session = self.sessions[job.session_id]
         record = job.record
         record.completion_time = now
@@ -775,7 +779,7 @@ class ServingEngine:
     def _save_kv(self, job: ActiveJob, session: SessionState) -> float:
         """Write the turn's newly produced KV to AttentionStore."""
         assert self.store is not None
-        now = self.sim.now
+        now = self._clock.now
         record = job.record
         total_tokens = record.prompt_tokens + record.generated_tokens
         decoupled = self.config.truncation is TruncationPolicyName.KV_DECOUPLED
@@ -898,7 +902,7 @@ class ServingEngine:
 
     def _ttl_sweep(self) -> None:
         assert self.store is not None
-        self.store.sweep_expired(self.sim.now)
+        self.store.sweep_expired(self._clock.now)
         if self._remaining_sessions > 0:
             self._after_epoch(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
 

@@ -21,8 +21,16 @@ from .request import TurnRequest
 class SchedulerQueue:
     """FIFO job queue with O(1) look-ahead position queries."""
 
+    # A session appears at most once, so look-ahead windows never need
+    # de-duplication (read by the prefetch planner's budget walk).
+    window_unique = True
+
     def __init__(self) -> None:
         self._queue: deque[TurnRequest] = deque()
+        # Session ids in queue order, maintained in lockstep with
+        # ``_queue``.  Look-ahead windows slice this deque of ints at C
+        # speed instead of touching each TurnRequest object.
+        self._ids: deque[int] = deque()
         self._seq_by_session: dict[int, int] = {}
         self._next_seq = 0
         self._head_seq = 0
@@ -56,6 +64,7 @@ class SchedulerQueue:
         self._next_seq += 1
         self._seq_by_session[request.session_id] = request.seq
         self._queue.append(request)
+        self._ids.append(request.session_id)
         self._pending_tokens += request.q_tokens + request.a_tokens
 
     def pop(self) -> TurnRequest:
@@ -65,6 +74,7 @@ class SchedulerQueue:
             IndexError: if the queue is empty.
         """
         request = self._queue.popleft()
+        self._ids.popleft()
         del self._seq_by_session[request.session_id]
         self._pending_tokens -= request.q_tokens + request.a_tokens
         if self._queue:
@@ -90,19 +100,29 @@ class SchedulerQueue:
             return None
         return seq - self._head_seq
 
+    def position_map(self) -> tuple[dict[int, int], int]:
+        """Bulk-position accessor: ``(seq_by_session, head_seq)``.
+
+        ``position(sid) == seq_by_session[sid] - head_seq`` (or ``None``
+        when absent).  Eviction scans hundreds of candidates per victim;
+        handing them the dict replaces a method call per candidate with
+        one ``dict.get``.
+        """
+        return self._seq_by_session, self._head_seq
+
     def head_window(self, k: int) -> Iterator[int]:
         """Session ids of the first ``k`` waiting jobs, head first."""
-        return (r.session_id for r in islice(self._queue, k))
+        return iter(islice(self._ids, k))
 
     def head_window_list(self, k: int) -> list[int]:
         """``head_window`` materialised as a list.
 
         The prefetch planner consumes the window twice per plan (a set
-        disjointness guard, then the budget walk); one list comprehension
-        beats two generator traversals on that hot path.
+        disjointness guard, then the budget walk); one C-level slice of
+        the id deque beats traversing TurnRequest objects.
         """
-        return [r.session_id for r in islice(self._queue, k)]
+        return list(islice(self._ids, k))
 
     def tail_window(self, k: int) -> Iterator[int]:
         """Session ids of the last ``k`` waiting jobs, tail first."""
-        return (r.session_id for r in islice(reversed(self._queue), k))
+        return iter(islice(reversed(self._ids), k))

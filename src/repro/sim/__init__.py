@@ -2,7 +2,7 @@
 
 from .channel import Channel, ChannelFaultHook, ChannelPair, FaultyTransfer
 from .clock import SimClock
-from .events import Event, EventQueue
+from .events import Event, EventQueue, LegacyEventQueue
 from .loop import Simulator
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "Event",
     "EventQueue",
     "FaultyTransfer",
+    "LegacyEventQueue",
     "SimClock",
     "Simulator",
 ]

@@ -1,14 +1,37 @@
-"""The discrete-event simulation loop."""
+"""The discrete-event simulation loop.
+
+``Simulator.run`` dispatches in *timestamp batches*: one
+``EventQueue.collect_batch`` call settles the queue head and drains
+every event sharing that timestamp, the clock advances once per unique
+time, and the ``profiler``/``event_hook`` attribute checks are hoisted
+out of the per-event inner loop into a pre-selected dispatch branch.
+Events the loop can prove are externally unreferenced are recycled onto
+the queue's free list instead of being left to the allocator.
+
+``Simulator(legacy_core=True)`` runs the original one-event-at-a-time
+loop on the original binary-heap queue — the oracle side of the
+old-vs-new bit-identity tests and the baseline for the dispatch
+microbenchmarks.
+"""
 
 from __future__ import annotations
 
+import gc
+from sys import getrefcount
 from typing import TYPE_CHECKING, Callable
 
 from .clock import SimClock
-from .events import Event, EventQueue
+from .events import _FREE_LIST_CAP, Event, EventQueue, LegacyEventQueue
 
 if TYPE_CHECKING:
     from ..obs.profile import EventLoopProfiler
+
+# While the dispatch loop runs an event, exactly three references to it
+# exist when no component kept a handle: the batch buffer, the loop
+# variable, and getrefcount's own argument (the queue entry's slot was
+# nulled by collect_batch).  A count above the baseline means someone
+# may still cancel() or inspect the event, so it must not be recycled.
+_RECYCLE_BASELINE_REFS = 3
 
 
 class Simulator:
@@ -18,16 +41,19 @@ class Simulator:
     (relative delay); :meth:`run` drains the queue in time order.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, *, legacy_core: bool = False) -> None:
         self.clock = SimClock(start)
-        self._queue = EventQueue()
+        self._legacy_core = legacy_core
+        self._queue: EventQueue | LegacyEventQueue = (
+            LegacyEventQueue() if legacy_core else EventQueue()
+        )
         self._events_processed = 0
         # Observation point for sanitizers (repro.sanitize): called after
-        # each executed event.  One attribute check per event when unset.
+        # each executed event.  Re-read once per timestamp batch.
         self.event_hook: Callable[[Event], None] | None = None
         # Optional host-side profiler (repro.obs.profile): when set, it
         # dispatches each event (counting/timing around the same single
-        # callback invocation).  One attribute check per event when unset.
+        # callback invocation).  Re-read once per timestamp batch.
         self.profiler: "EventLoopProfiler | None" = None
 
     @property
@@ -40,7 +66,7 @@ class Simulator:
 
     def at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute simulated time ``time``."""
-        if time < self.now:
+        if time < self.clock._now:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
@@ -50,7 +76,7 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` seconds."""
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        return self._queue.push(self.now + delay, callback)
+        return self._queue.push(self.clock._now + delay, callback)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events in order.
@@ -61,6 +87,110 @@ class Simulator:
             max_events: safety valve; raise *before* running an event that
                 would push the lifetime count past this limit.
         """
+        # Pause cyclic GC for the drain: event dispatch allocates closures
+        # and records at a rate that keeps generation-0 collections firing
+        # constantly, yet almost everything dies by refcount.  Cycles
+        # created by callbacks are simply collected after the run (or at
+        # the caller's next allocation burst).  GC timing never feeds back
+        # into simulated time, so determinism is unaffected either way.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            if self._legacy_core:
+                self._run_legacy(until, max_events)
+            else:
+                self._run_batched(until, max_events)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    def _run_batched(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
+        """The calendar-queue fast path: one collect per unique timestamp."""
+        queue = self._queue
+        assert isinstance(queue, EventQueue)
+        clock = self.clock
+        free = queue._free
+        collect_batch = queue.collect_batch
+        advance_to = clock.advance_to
+        buf: list[Event] = []
+        processed = self._events_processed
+        last_time = clock._now
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    head = queue.peek_time()
+                    if head is not None and (until is None or head <= until):
+                        raise RuntimeError(
+                            f"simulation exceeded {max_events} events; "
+                            "likely a scheduling loop"
+                        )
+                    break
+                del buf[:]
+                cap = None if max_events is None else max_events - processed
+                t0 = collect_batch(buf, until, cap)
+                if t0 is None:
+                    break
+                if t0 > last_time:
+                    advance_to(t0)
+                    last_time = t0
+                # Select the dispatch branch once per batch: the common
+                # unobserved case runs a bare inner loop with no
+                # attribute checks per event.
+                profiler = self.profiler
+                hook = self.event_hook
+                i = 0
+                try:
+                    if profiler is None and hook is None:
+                        for event in buf:
+                            # i counts events the legacy loop would have
+                            # consumed: a raising callback consumed its
+                            # event (it was popped), so i moves *before*
+                            # the call and buf[i:] is exactly the
+                            # not-yet-dispatched tail.
+                            i += 1
+                            # An earlier event in this batch may have
+                            # cancelled a later one; the legacy loop
+                            # would have skipped it at pop time.
+                            if event.cancelled:
+                                continue
+                            event.callback()
+                            processed += 1
+                            if (
+                                getrefcount(event) == _RECYCLE_BASELINE_REFS
+                                and len(free) < _FREE_LIST_CAP
+                            ):
+                                free.append(event)
+                    else:
+                        for event in buf:
+                            i += 1
+                            if event.cancelled:
+                                continue
+                            if profiler is not None:
+                                profiler.run_event(event)
+                            else:
+                                event.callback()
+                            processed += 1
+                            if hook is not None:
+                                hook(event)
+                except BaseException:
+                    # Restore the un-dispatched remainder so an aborted
+                    # run leaves the queue exactly as the legacy
+                    # one-event-at-a-time loop would have.
+                    if i < len(buf):
+                        queue.requeue_front(buf[i:])
+                    raise
+        finally:
+            self._events_processed = processed
+        if until is not None and until > clock._now:
+            clock.advance_to(until)
+
+    def _run_legacy(
+        self, until: float | None = None, max_events: int | None = None
+    ) -> None:
+        """The original dispatch loop: peek, pop and advance per event."""
         while True:
             next_time = self._queue.peek_time()
             if next_time is None:

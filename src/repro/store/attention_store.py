@@ -581,22 +581,27 @@ class AttentionStore:
         pinned: AbstractSet[int] = frozenset(),
     ) -> bool:
         """Evict DRAM items to disk until ``n_bytes`` fit (plus buffer)."""
+        dram = self.dram_tier
+        capacity = dram.capacity_bytes
+        target_free = n_bytes + int(self.config.dram_buffer_fraction * capacity)
+        if target_free > capacity:
+            target_free = capacity
+        if dram.free_bytes >= target_free:
+            # No eviction needed — skip the policy-window sync, which only
+            # feeds victim selection.  The common case: most saves fit.
+            return dram.can_fit(n_bytes)
         self._sync_policy_window()
-        target_free = n_bytes + int(
-            self.config.dram_buffer_fraction * self.dram_tier.capacity_bytes
-        )
-        target_free = min(target_free, self.dram_tier.capacity_bytes)
-        guard = len(self.dram_tier) + 1
-        while self.dram_tier.free_bytes < target_free and guard > 0:
+        guard = len(dram) + 1
+        while dram.free_bytes < target_free and guard > 0:
             guard -= 1
-            victim = self.policy.choose_victim(self.dram_tier, queue, pinned)
+            victim = self.policy.choose_victim(dram, queue, pinned)
             if victim is None:
                 break
             if not self._demote_to_disk(victim, queue, now, pinned):
                 # No disk space obtainable either; drop the victim outright.
                 self._drop_item(victim)
                 self.stats.evicted_out += 1
-        return self.dram_tier.can_fit(n_bytes)
+        return dram.can_fit(n_bytes)
 
     def _demote_to_disk(
         self,
@@ -827,49 +832,44 @@ class AttentionStore:
 
         # DRAM occupied by pinned (actively serving) sessions is not
         # available to the look-ahead window.
-        pinned_bytes = 0
         items = self._items
+        pinned_bytes = 0
         for session_id in pinned:
             item = items.get(session_id)
             if item is not None and item.tier is Tier.DRAM:
                 pinned_bytes += item.n_bytes
-        budget = int(
-            max(0, self.dram_tier.capacity_bytes - pinned_bytes)
-            * self.config.prefetch_capacity_fraction
-        )
+        capacity = self.dram_tier.capacity_bytes
+        fraction = self.config.prefetch_capacity_fraction
+        budget = int(max(0, capacity - pinned_bytes) * fraction)
         if budget <= 0:
             return []
         window_len = max(1, int(budget / max(self.avg_item_bytes, 1.0)))
-
-        # Materialise the window once: the fast guard and the budget walk
-        # both traverse it, and a list comprehension (or a view's slice)
-        # beats two lazy generator passes on this hot path.
         head_window_list = getattr(queue, "head_window_list", None)
         if head_window_list is not None:
             window = head_window_list(window_len)
         else:
             window = list(queue.head_window(window_len))
-
-        # Fast guard: the planner can only issue fetches for waiting jobs
-        # whose caches sit on disk.  The engine replans after every queue
-        # push/pop, and in the common case nothing in the window is disk-
-        # resident — skip the budget walk (and its per-entry item
-        # inspection) entirely.  Equivalent to the full plan returning [].
-        # ``disk_ids`` is a dict-keys view, so disjointness runs in C.
+        # Fast guard, run *before* the budget walk: if no session in the
+        # window is disk-resident, the plan below necessarily issues
+        # nothing.  The engine replans after every queue push/pop, so this
+        # is the common case by far.  ``disk_ids`` is a dict-keys view, so
+        # disjointness runs in C.
         if disk_ids.isdisjoint(window):
             return []
 
         # Budget walk, semantically identical to
         # :func:`repro.store.prefetch.plan_prefetches` but operating on the
         # item dict directly — the closure + WindowEntry indirection is the
-        # single hottest allocation site of a full replay.
+        # single hottest allocation site of a full replay.  Windows from
+        # the scheduler queue never repeat a session; other views may, and
+        # the walk must budget each session once, so de-dup those first
+        # (dict.fromkeys preserves first-occurrence order in C).
+        if not getattr(queue, "window_unique", False):
+            window = list(dict.fromkeys(window))
         fetch_ids: list[int] = []
-        seen: set[int] = set()
+        items_get = items.get
         for session_id in window:
-            if session_id in seen:
-                continue
-            seen.add(session_id)
-            item = items.get(session_id)
+            item = items_get(session_id)
             if item is None or not item.valid:
                 continue
             n_bytes = item.n_bytes

@@ -43,6 +43,9 @@ class EmptyQueueView:
     def position(self, session_id: int) -> int | None:
         return None
 
+    def position_map(self) -> tuple[dict[int, int], int]:
+        return {}, 0
+
     def head_window(self, k: int) -> Iterator[int]:
         return iter(())
 
@@ -67,6 +70,9 @@ class ListQueueView:
 
     def position(self, session_id: int) -> int | None:
         return self._pos.get(session_id)
+
+    def position_map(self) -> tuple[dict[int, int], int]:
+        return self._pos, 0
 
     def head_window(self, k: int) -> Iterator[int]:
         return iter(self._ids[:k])
@@ -175,15 +181,35 @@ class SchedulerAwarePolicy(EvictionPolicy):
         pinned: AbstractSet[int] = frozenset(),
     ) -> KVCacheItem | None:
         limit = self.window_limit if self.window_limit is not None else len(queue)
+        # Hundreds of candidates get a position query per eviction; views
+        # exposing ``position_map`` (the scheduler queue and the built-in
+        # views) let the scan replace per-item ``queue.position`` method
+        # calls with one dict lookup.  ``position(sid)`` is exactly
+        # ``seqs.get(sid) - head`` for these views, so the decision stream
+        # is unchanged; unknown views fall back to the protocol method.
+        seqs: dict[int, int] | None
+        position_map = getattr(queue, "position_map", None)
+        if position_map is not None:
+            seqs, head = position_map()
+        else:
+            seqs, head = None, 0
+        scan_limit = self.scan_limit
+        queue_position = queue.position
         # Pass 1: oldest items without a queued job inside the window.
         furthest: KVCacheItem | None = None
         furthest_pos = -1
-        for scanned, item in enumerate(tier.iter_lru()):
-            if scanned >= self.scan_limit:
+        scanned = 0
+        for item in tier.iter_lru():
+            if scanned >= scan_limit:
                 break
-            if not _evictable(item, pinned):
+            scanned += 1
+            if item.session_id in pinned or item.fetch_in_flight:
                 continue
-            pos = queue.position(item.session_id)
+            if seqs is None:
+                pos = queue_position(item.session_id)
+            else:
+                seq = seqs.get(item.session_id)
+                pos = None if seq is None else seq - head
             if pos is None or pos >= limit:
                 return item
             if pos > furthest_pos:
@@ -195,11 +221,15 @@ class SchedulerAwarePolicy(EvictionPolicy):
         # scan over the whole tier when the bounded pass missed items,
         # resuming past the prefix pass 1 already examined instead of
         # re-scanning it from the tier head.
-        if len(tier) > self.scan_limit:
-            for item in islice(tier.iter_lru(), self.scan_limit, None):
-                if not _evictable(item, pinned):
+        if len(tier) > scan_limit:
+            for item in islice(tier.iter_lru(), scan_limit, None):
+                if item.session_id in pinned or item.fetch_in_flight:
                     continue
-                pos = queue.position(item.session_id)
+                if seqs is None:
+                    pos = queue_position(item.session_id)
+                else:
+                    seq = seqs.get(item.session_id)
+                    pos = None if seq is None else seq - head
                 if pos is None or pos >= limit:
                     return item
                 if pos > furthest_pos:

@@ -20,6 +20,11 @@ class StorageTier:
     def __init__(self, tier: Tier, capacity_bytes: int, block_bytes: int) -> None:
         self.tier = tier
         self.allocator = BlockAllocator(capacity_bytes, block_bytes)
+        # A block pool's capacity is fixed for its lifetime, so the
+        # rounded-to-blocks capacity is snapshotted here: eviction and
+        # prefetch budgeting read it on every plan, and a plain attribute
+        # beats the two-property chain into the allocator.
+        self.capacity_bytes: int = self.allocator.capacity_bytes
         # Python dicts preserve insertion order; we maintain one in arrival
         # order (FIFO) and one in access order (LRU, oldest first).
         self._fifo: dict[int, KVCacheItem] = {}
@@ -48,10 +53,6 @@ class StorageTier:
     def iter_lru(self) -> Iterator[KVCacheItem]:
         """Resident items, least recently accessed first."""
         return iter(self._lru.values())
-
-    @property
-    def capacity_bytes(self) -> int:
-        return self.allocator.capacity_bytes
 
     @property
     def used_bytes(self) -> int:
