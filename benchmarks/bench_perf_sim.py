@@ -20,16 +20,29 @@ Two further sections measure the PR-3 performance layer:
   tolerance, and the streaming run retaining no per-turn records.
 
 The **scheduler** section microbenchmarks the calendar-queue simulation
-core against the retained legacy heap (push/pop and cancel throughput on
-the bare queues; batched vs legacy dispatch on unique-timestamp,
+core against the legacy heap — now also the default production core via
+``Simulator(core="auto")`` — (push/pop and cancel throughput on the bare
+queues; batched vs legacy dispatch on unique-timestamp,
 shared-timestamp and self-scheduling-chain patterns), and **profile**
 writes one :class:`EventLoopProfiler` report of a gate-size replay to
-``BENCH_profile.txt`` for CI to upload as an artifact.
+``BENCH_profile.txt`` for CI to upload as an artifact, plus the
+top-callback *shares* so the continuation refactor's profile shape
+(slotted continuation classes instead of ``_after_epoch.<locals>.fire``
+closures at 77% of estimated cost) is asserted per-commit.
+
+The **trace_modes** section exercises the streaming workload layer:
+a streamed :func:`repro.workload.stream_trace` replay must be
+bit-identical to materialising the same stream up front, and a large
+streamed replay (``REPRO_PERF_STREAM_SESSIONS`` sessions, run in a
+subprocess so its peak RSS is measured in isolation) must use
+sub-linear memory versus a quarter-size run — the O(live-sessions)
+claim, since finished sessions are dropped as the stream advances.
 
 Env knobs (all optional): ``REPRO_PERF_SESSIONS``, ``REPRO_PERF_JOBS``,
 ``REPRO_PERF_SWEEP_FLOOR`` (override the sweep speedup floor),
 ``REPRO_PERF_EVENTS_FLOOR`` (minimum streaming-replay events/s; 0 = off),
 ``REPRO_PERF_MAX_RSS_MB`` (peak-RSS ceiling for the process; 0 = off),
+``REPRO_PERF_STREAM_SESSIONS`` (streamed-replay size; default 20000),
 ``REPRO_PROFILE_OUT`` (profile artifact path).
 
 Runs standalone (``python benchmarks/bench_perf_sim.py``) or under pytest.
@@ -37,9 +50,12 @@ Runs standalone (``python benchmarks/bench_perf_sim.py``) or under pytest.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import resource
+import subprocess
+import sys
 import time
 import tracemalloc
 
@@ -54,7 +70,7 @@ from repro.models import ModelSpec, get_model
 from repro.obs import EventLoopProfiler
 from repro.runner import SweepPoint, run_sweep, unwrap
 from repro.sim import EventQueue, LegacyEventQueue, Simulator
-from repro.workload import WorkloadSpec, generate_trace
+from repro.workload import Trace, WorkloadSpec, generate_trace, stream_trace
 
 import repro.engine.engine as engine_module
 
@@ -74,7 +90,15 @@ SWEEP_SESSION_GRID = (400, 600, 800, 1000)
 # its baselines in BENCH_sim.json must mean the same thing on every host
 # and in every CI job, whatever replay size the perf smoke test uses.
 GATE_SESSIONS = 300
+STREAM_SESSIONS = int(os.environ.get("REPRO_PERF_STREAM_SESSIONS", "20000"))
 OUT_PATH = os.path.join(os.path.dirname(__file__), "..", "BENCH_sim.json")
+
+# The profile shape before the continuation refactor (PR 8): the
+# epoch-guard closure dominated the estimated event-loop cost.  Kept as
+# a constant so the before/after share comparison survives baseline
+# regeneration.
+PRIOR_TOP_CALLBACK = "ServingEngine._after_epoch.<locals>.fire"
+PRIOR_TOP_SHARE = 0.773
 
 
 def load_benchmark_module(name: str):
@@ -254,6 +278,113 @@ def metrics_modes_benchmark() -> dict:
     }
 
 
+# Subprocess body for the isolated streamed-replay memory measurement:
+# peak RSS (ru_maxrss) is process-lifetime-monotone, so measuring it
+# inside the harness process would report whichever earlier section
+# peaked highest.  Streaming metrics keep the collector O(1) too — the
+# point is that *nothing* scales with total sessions.
+_STREAM_RSS_SCRIPT = """\
+import json, resource, sys, time
+from repro.engine import ServingEngine
+from repro.config import EngineConfig, HardwareConfig, StoreConfig
+from repro.models import get_model
+from repro.workload import stream_trace
+
+n = int(sys.argv[1])
+model = get_model(sys.argv[2])
+engine = ServingEngine(
+    model,
+    hardware=HardwareConfig().for_model(model),
+    engine_config=EngineConfig(batch_size=model.default_batch_size),
+    store_config=StoreConfig(),
+    streaming_metrics=True,
+)
+start = time.perf_counter()
+result = engine.run(stream_trace(n_sessions=n, seed=42))
+wall = time.perf_counter() - start
+print(json.dumps({
+    "wall_s": wall,
+    "events": result.events_processed,
+    "n_turns": result.summary.n_turns,
+    "peak_live_sessions": engine._peak_live_sessions,
+    "sessions_retained": len(engine.sessions),
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+}))
+"""
+
+
+def _stream_replay_subprocess(n_sessions: int) -> dict:
+    """Run one streamed replay in a fresh process; return its self-report."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _STREAM_RSS_SCRIPT, str(n_sessions), MODEL_NAME],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def trace_modes_benchmark() -> dict:
+    """Streamed vs materialised workload traces.
+
+    Two claims, checked separately:
+
+    * **Identity** — feeding ``stream_trace`` straight to the engine and
+      materialising the same stream into a :class:`Trace` first produce
+      bit-identical results (same events, same summary, same store
+      stats); streaming changes memory behaviour, never the simulation.
+    * **O(live-sessions) memory** — a streamed replay's peak RSS is set
+      by the live-session high-water mark, not the trace length: a
+      replay 4x the size must stay well under 4x the memory.  Both
+      replays run in subprocesses so each peak is measured in isolation.
+    """
+    n_id = min(BENCH_SESSIONS, 800)
+    streamed_engine = build_engine()
+    start = time.perf_counter()
+    streamed = streamed_engine.run(stream_trace(n_sessions=n_id, seed=42))
+    streamed_wall = time.perf_counter() - start
+    materialized_engine = build_engine()
+    trace = Trace(conversations=list(stream_trace(n_sessions=n_id, seed=42)))
+    start = time.perf_counter()
+    materialized = materialized_engine.run(trace)
+    materialized_wall = time.perf_counter() - start
+    identical = (
+        streamed.events_processed == materialized.events_processed
+        and dataclasses.asdict(streamed.summary)
+        == dataclasses.asdict(materialized.summary)
+        and dataclasses.asdict(streamed_engine.store.stats)
+        == dataclasses.asdict(materialized_engine.store.stats)
+    )
+
+    big = _stream_replay_subprocess(STREAM_SESSIONS)
+    quarter = _stream_replay_subprocess(max(STREAM_SESSIONS // 4, 1))
+    return {
+        "identity_sessions": n_id,
+        "bit_identical": identical,
+        "streamed_wall_s": round(streamed_wall, 4),
+        "materialized_wall_s": round(materialized_wall, 4),
+        "streamed_peak_live_sessions": streamed_engine._peak_live_sessions,
+        "streamed_sessions_retained": len(streamed_engine.sessions),
+        "stream_sessions": STREAM_SESSIONS,
+        "stream_events": big["events"],
+        "stream_turns": big["n_turns"],
+        "stream_wall_s": round(big["wall_s"], 4),
+        "stream_events_per_s": round(big["events"] / big["wall_s"]),
+        "stream_peak_live_sessions": big["peak_live_sessions"],
+        "stream_sessions_retained": big["sessions_retained"],
+        "stream_peak_rss_mb": round(big["peak_rss_mb"], 1),
+        "quarter_sessions": max(STREAM_SESSIONS // 4, 1),
+        "quarter_peak_rss_mb": round(quarter["peak_rss_mb"], 1),
+        "quarter_peak_live_sessions": quarter["peak_live_sessions"],
+    }
+
+
 def _noop() -> None:
     pass
 
@@ -356,12 +487,23 @@ def profile_section() -> dict:
     with open(PROFILE_OUT, "w") as fh:
         fh.write(report.format())
         fh.write("\n")
+    # Continuation classes report as their type name (DecodeChunkDone,
+    # NextTurnTimer, ...); any surviving closure would show a qualname
+    # with "<locals>".  The epoch-guard share tracks what is left of the
+    # pre-refactor hot spot (PRIOR_TOP_SHARE of estimated cost).
+    epoch_guard_share = sum(
+        row.share for row in report.rows if "_after_epoch" in row.name
+    )
     return {
         "sessions": GATE_SESSIONS,
         "events": report.n_events,
         "events_per_s": round(report.events_per_s),
         "out_path": os.path.basename(PROFILE_OUT),
         "top_callbacks": [row.name for row in report.rows[:3]],
+        "top_shares": {row.name: round(row.share, 4) for row in report.rows[:3]},
+        "epoch_guard_share": round(epoch_guard_share, 4),
+        "prior_top_callback": PRIOR_TOP_CALLBACK,
+        "prior_top_share": PRIOR_TOP_SHARE,
     }
 
 
@@ -444,6 +586,7 @@ def run_harness() -> dict:
         "profile": profile_section(),
         "sweep": sweep_benchmark(),
         "metrics_modes": metrics_modes_benchmark(),
+        "trace_modes": trace_modes_benchmark(),
         "gates": gates_section(),
         "peak_rss_mb": round(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
@@ -515,6 +658,23 @@ def test_perf_sim():
     assert modes["p95_rel_err"] <= 0.02
     assert modes["records_streaming"] == 0 < modes["records_exact"]
     assert modes["streaming_retained_kb"] < modes["exact_retained_kb"]
+    # Profile shape: the epoch-guard closure that used to dominate the
+    # event loop (PRIOR_TOP_SHARE) must stay demoted — continuations are
+    # dispatched as slotted instances and the guard is a field check.
+    profile = payload["profile"]
+    assert profile["epoch_guard_share"] < 0.40, profile
+    assert all("<locals>" not in name for name in profile["top_callbacks"]), profile
+    # Streamed traces: identical simulation, O(live-sessions) memory.
+    # The 4x-size replay may grow a little (live-session high-water mark
+    # rises with a longer arrival window, allocator slack) but nothing
+    # like linearly; the floor catches any O(total-sessions) structure
+    # creeping back into the streamed path.
+    traces = payload["trace_modes"]
+    assert traces["bit_identical"], traces
+    assert traces["stream_sessions_retained"] == 0, traces
+    assert traces["stream_peak_rss_mb"] <= (
+        1.6 * traces["quarter_peak_rss_mb"] + 96
+    ), traces
     # Optional CI guard rails (off when unset).
     events_floor = int(os.environ.get("REPRO_PERF_EVENTS_FLOOR", "0"))
     if events_floor:

@@ -19,7 +19,8 @@ contend on shared PCIe and SSD :class:`~repro.sim.Channel` objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from functools import lru_cache
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from ..config import (
     EngineConfig,
@@ -38,6 +39,18 @@ from ..store.attention_store import AttentionStore, LookupStatus, StoreStats
 from ..store.item import Tier
 from ..workload.trace import Conversation, Trace
 from .batching import ActiveJob, BatchState
+from .continuations import (
+    DecodeChunkDone,
+    FetchDone,
+    NextTurnTimer,
+    PrefillSliceDone,
+    ResumePrefill,
+    SaveBlockDone,
+    SessionStart,
+    StreamArrival,
+    TierLoss,
+    TtlSweep,
+)
 from .metrics import MetricsCollector, RunSummary, TurnOutcome, TurnRecord
 from .overlap import (
     async_save_blocking_time,
@@ -199,9 +212,38 @@ class ServingEngine:
         # SpanTracer.attach_engine; one attribute check per emission point
         # when unset.  Pure observation — never alters timing.
         self.tracer: "SpanTracer | None" = None
+        # Streamed-trace state: the pending generator (None for
+        # materialised traces) and whether finished sessions are dropped
+        # from ``self.sessions`` to keep memory O(live sessions).
+        self._stream: Iterator[Conversation] | None = None
+        self._stream_arrival: StreamArrival | None = None
+        self._drop_finished_sessions = False
+        self._peak_live_sessions = 0
+        # Hot-path bindings: the decode-chunk cost function (memoised in
+        # PerfModel) and a per-engine save-cost memo keyed by the exact
+        # per-turn KV delta (PCIe bandwidth is fixed for the run, so the
+        # pair is pure; bounded so huge replays cannot grow it freely).
+        self._decode_segment = self.perf.decode_segment_time_from_sum
+        self._save_cost = lru_cache(maxsize=4096)(self._save_cost_uncached)
+        self._init_continuations()
         self.sanitized = sanitize if sanitize is not None else sanitize_enabled()
         if self.sanitized:
             install_engine(self)
+
+    def _init_continuations(self) -> None:
+        """(Re)build the preallocated single-flight continuation set.
+
+        Called at construction and by :meth:`crash`: a crash may leave a
+        stale instance scheduled in the event queue, and reusing it for
+        post-restart work would alias the stale event with fresh fields
+        — the stale instance must instead keep its old epoch and no-op
+        when it fires (see :mod:`repro.engine.continuations`).
+        """
+        self._prefill_slice_done = PrefillSliceDone(self)
+        self._resume_prefill = ResumePrefill(self)
+        self._decode_chunk_done = DecodeChunkDone(self)
+        self._save_block_done = SaveBlockDone(self)
+        self._ttl_sweep_cont = TtlSweep(self)
 
     # ------------------------------------------------------------------
     # Setup helpers
@@ -220,23 +262,44 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, trace: Trace) -> RunResult:
+    def run(self, trace: Trace | Iterable[Conversation]) -> RunResult:
         """Replay ``trace`` to completion and return aggregate results."""
         self.schedule_trace(trace)
         self.sim.run()
         return self.result()
 
-    def schedule_trace(self, trace: Trace) -> None:
-        """Schedule every session arrival of ``trace`` (without running).
+    def schedule_trace(self, trace: Trace | Iterable[Conversation]) -> None:
+        """Schedule the session arrivals of ``trace`` (without running).
 
         Split out of :meth:`run` so a cluster can schedule work on several
         replicas sharing one simulator before draining it once.
+
+        ``trace`` is either a materialised :class:`Trace` — every arrival
+        is scheduled up front, exactly as before — or an arrival-ordered
+        iterable of :class:`Conversation` objects (e.g.
+        :func:`repro.workload.stream_trace`).  A streamed trace is pulled
+        lazily: exactly one arrival event is pending at any time and
+        finished sessions are dropped from :attr:`sessions`, so in-flight
+        memory is O(live sessions) instead of O(total sessions).
         """
-        if len(trace) == 0:
+        if isinstance(trace, Trace):
+            if len(trace) == 0:
+                raise ValueError("cannot run an empty trace")
+            self._remaining_sessions += len(trace)
+            at = self.sim.at
+            for conv in trace.conversations:
+                at(conv.arrival_time, SessionStart(self, conv))
+            self.schedule_maintenance()
+            return
+        stream = iter(trace)
+        first = next(stream, None)
+        if first is None:
             raise ValueError("cannot run an empty trace")
-        self._remaining_sessions += len(trace)
-        for conv in trace:
-            self.sim.at(conv.arrival_time, self._session_starter(conv))
+        self._stream = stream
+        self._drop_finished_sessions = True
+        self._remaining_sessions += 1
+        self._stream_arrival = StreamArrival(self, first)
+        self.sim.at(first.arrival_time, self._stream_arrival)
         self.schedule_maintenance()
 
     def schedule_maintenance(self) -> None:
@@ -246,13 +309,10 @@ class ServingEngine:
         each replica, since cluster arrivals bypass ``schedule_trace``.
         """
         if self.store is not None and self.store.config.ttl_seconds is not None:
-            self._after_epoch(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+            self._schedule_ttl_sweep()
         if self.store is not None and self.fault_config is not None:
             for event in self.fault_config.tier_loss_events:
-                self.sim.at(
-                    event.at,
-                    lambda tier=Tier(event.tier): self.store.lose_tier(tier),  # type: ignore[union-attr]
-                )
+                self.sim.at(event.at, TierLoss(self.store, Tier(event.tier)))
 
     def result(self) -> RunResult:
         """Aggregate results after the simulator has drained."""
@@ -282,7 +342,7 @@ class ServingEngine:
     def start_session(self, conv: Conversation) -> None:
         """Begin serving ``conv`` now (cluster arrival entry point)."""
         self._remaining_sessions += 1
-        self._session_starter(conv)()
+        self._start_session(conv)
 
     def submit_next_turn(
         self,
@@ -314,13 +374,38 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Arrival path
     # ------------------------------------------------------------------
-    def _session_starter(self, conv: Conversation) -> Callable[[], None]:
-        def start() -> None:
-            session = SessionState(conversation=conv)
-            self.sessions[conv.session_id] = session
-            self._submit_next_turn(session)
+    def _start_session(self, conv: Conversation) -> None:
+        session = SessionState(conversation=conv)
+        sessions = self.sessions
+        sessions[conv.session_id] = session
+        if self._drop_finished_sessions and len(sessions) > self._peak_live_sessions:
+            self._peak_live_sessions = len(sessions)
+        self._submit_next_turn(session)
 
-        return start
+    def _on_stream_arrival(self, arrival: StreamArrival) -> None:
+        """One streamed arrival fired: chain the next, then start this one.
+
+        The next conversation is pulled and scheduled *before* this
+        session starts so the arrival chain never depends on serving
+        progress; the generator contract (non-decreasing arrival times)
+        makes scheduling at ``conv.arrival_time`` always legal.
+        """
+        conv = arrival.conv
+        assert self._stream is not None
+        nxt = next(self._stream, None)
+        if nxt is None:
+            self._stream = None
+            self._stream_arrival = None
+        else:
+            if nxt.arrival_time < conv.arrival_time:
+                raise ValueError(
+                    "streamed trace is not arrival-ordered: "
+                    f"{nxt.arrival_time} after {conv.arrival_time}"
+                )
+            self._remaining_sessions += 1
+            arrival.conv = nxt
+            self.sim.at(nxt.arrival_time, arrival)
+        self._start_session(conv)
 
     def _submit_next_turn(
         self,
@@ -343,16 +428,15 @@ class ServingEngine:
         self._dispatch()
 
     def _prefetch(self) -> None:
-        if self.store is None:
+        store = self.store
+        if store is None:
             return
         # The live set is passed directly (no frozenset copy): the store
         # only reads it, and nothing mutates it within a single event.
-        pinned = self._active_sessions
-        for session_id, done in self.store.prefetch(self.queue, self._clock.now, pinned):
-            self.sim.at(
-                done,
-                lambda sid=session_id: self.store.complete_fetch(sid),  # type: ignore[union-attr]
-            )
+        for session_id, done in store.prefetch(
+            self.queue, self._clock.now, self._active_sessions
+        ):
+            self.sim.at(done, FetchDone(store, session_id))
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -558,12 +642,14 @@ class ServingEngine:
             # Decoding jobs are stalled for this slice (Section 4.2's
             # blocking effect; chunked prefill bounds it).
             self.metrics.record_decode_stall(slice_duration)
-        self._after_epoch(
-            slice_duration,
-            lambda: self._on_prefill_slice_done(
-                job, remaining_slices - 1, slice_duration
-            ),
-        )
+        # Single-flight: the GPU serialises prefill slices, so the one
+        # preallocated continuation is free whenever a slice starts.
+        cont = self._prefill_slice_done
+        cont.epoch = self._epoch
+        cont.job = job
+        cont.remaining_slices = remaining_slices - 1
+        cont.slice_duration = slice_duration
+        self.sim.after(slice_duration, cont)
 
     def _on_prefill_slice_done(
         self, job: ActiveJob, remaining_slices: int, slice_duration: float
@@ -574,11 +660,11 @@ class ServingEngine:
             return
         if self.batch:
             # Piggyback one decode chunk between prefill slices.
-            self._start_decode_chunk(
-                resume=lambda: self._continue_prefill(
-                    job, remaining_slices, slice_duration
-                )
-            )
+            resume = self._resume_prefill
+            resume.job = job
+            resume.remaining_slices = remaining_slices
+            resume.slice_duration = slice_duration
+            self._start_decode_chunk(resume=resume)
         else:
             self._continue_prefill(job, remaining_slices, slice_duration)
 
@@ -661,14 +747,13 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Decode
     # ------------------------------------------------------------------
-    def _start_decode_chunk(self, resume: Callable[[], None] | None = None) -> None:
+    def _start_decode_chunk(self, resume: ResumePrefill | None = None) -> None:
         """Run up to ``decode_chunk_iters`` iterations; afterwards call
         ``resume`` (a paused chunked prefill) or re-enter dispatch."""
-        n_iters = min(self.config.decode_chunk_iters, self.batch.min_remaining())
-        duration = self.perf.decode_segment_time_from_sum(
-            self.batch.context_sum, len(self.batch), n_iters
-        )
-        batch_len = len(self.batch)
+        batch = self.batch
+        batch_len = len(batch)
+        n_iters = min(self.config.decode_chunk_iters, batch.min_remaining())
+        duration = self._decode_segment(batch.context_sum, batch_len, n_iters)
         if self.tracer is not None:
             now = self._clock.now
             self.tracer.span(
@@ -681,17 +766,23 @@ class ServingEngine:
                 args={"batch": batch_len, "iters": n_iters},
             )
         self._gpu_occupy(duration)
-        self._after_epoch(
-            duration,
-            lambda: self._on_decode_chunk_done(n_iters, duration, batch_len, resume),
-        )
+        # Single-flight: at most one decode chunk is in flight, so the
+        # preallocated continuation is free here (a crash swaps in a
+        # fresh set, leaving any stale pending instance to no-op).
+        cont = self._decode_chunk_done
+        cont.epoch = self._epoch
+        cont.n_iters = n_iters
+        cont.duration = duration
+        cont.batch_len = batch_len
+        cont.resume = resume
+        self.sim.after(duration, cont)
 
     def _on_decode_chunk_done(
         self,
         n_iters: int,
         duration: float,
         batch_len: int,
-        resume: Callable[[], None] | None = None,
+        resume: ResumePrefill | None = None,
     ) -> None:
         self._gpu_release()
         share = duration / batch_len
@@ -700,8 +791,8 @@ class ServingEngine:
         # same pass that moves its token counters.
         finished = self.batch.advance_and_share(n_iters, share)
         blocking_total = 0.0
-        for job in finished:
-            blocking_total += self._complete_turn(job)
+        if finished:
+            blocking_total = self._complete_turns(finished)
         if blocking_total > 0.0:
             if self.tracer is not None:
                 now = self._clock.now
@@ -716,15 +807,16 @@ class ServingEngine:
                 )
             # Residual KV write-back blocks the GPU before the next job.
             self._gpu_occupy(blocking_total)
-            self._after_epoch(
-                blocking_total, lambda: self._on_save_block_done(resume)
-            )
+            cont = self._save_block_done
+            cont.epoch = self._epoch
+            cont.resume = resume
+            self.sim.after(blocking_total, cont)
         elif resume is not None:
             resume()
         else:
             self._dispatch()
 
-    def _on_save_block_done(self, resume: Callable[[], None] | None = None) -> None:
+    def _on_save_block_done(self, resume: ResumePrefill | None = None) -> None:
         self._gpu_release()
         if resume is not None:
             resume()
@@ -734,47 +826,77 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Completion
     # ------------------------------------------------------------------
-    def _complete_turn(self, job: ActiveJob) -> float:
-        """Finish a turn; return any GPU blocking from KV saving."""
+    def _complete_turns(self, finished: list[ActiveJob]) -> float:
+        """Finish a decode chunk's completed turns; return the total GPU
+        blocking from KV saving.
+
+        The per-turn loop runs with every invariant attribute hoisted
+        (clock, session map, store, tracer) and metrics recording batched
+        into one :meth:`MetricsCollector.record_turns` call — same
+        records, same order, so the float accumulation is bit-identical
+        to the one-call-per-turn path this replaces.
+        """
         now = self._clock.now
-        session = self.sessions[job.session_id]
-        record = job.record
-        record.completion_time = now
-        self._hbm_reserved_tokens -= job.reserved_tokens
+        sessions = self.sessions
+        store = self.store
+        tracer = self.tracer
+        active = self._active_sessions
+        after = self.sim.after
+        drop_finished = self._drop_finished_sessions
+        reserved_delta = 0
+        blocking_total = 0.0
+        for job in finished:
+            session_id = job.session_id
+            session = sessions[session_id]
+            record = job.record
+            record.completion_time = now
+            reserved_delta += job.reserved_tokens
 
-        blocking = 0.0
-        if self.store is not None:
-            blocking = self._save_kv(job, session)
-        self._active_sessions.discard(job.session_id)
-        record.save_block_time = blocking
-        if self.tracer is not None:
-            self.tracer.async_span(
-                "turn",
-                "turn",
-                f"{job.session_id}:{record.turn_index}",
-                record.arrival_time,
-                now,
-                track=self.name,
-                args={
-                    "session": job.session_id,
-                    "turn": record.turn_index,
-                    "outcome": record.outcome.value,
-                    "ttft_s": record.ttft,
-                },
-            )
-        self.metrics.record_turn(record)
+            blocking = 0.0
+            if store is not None:
+                blocking = self._save_kv(job, session)
+            active.discard(session_id)
+            record.save_block_time = blocking
+            blocking_total += blocking
+            if tracer is not None:
+                tracer.async_span(
+                    "turn",
+                    "turn",
+                    f"{session_id}:{record.turn_index}",
+                    record.arrival_time,
+                    now,
+                    track=self.name,
+                    args={
+                        "session": session_id,
+                        "turn": record.turn_index,
+                        "outcome": record.outcome.value,
+                        "ttft_s": record.ttft,
+                    },
+                )
 
-        session.record_turn_served(record.prompt_tokens, record.generated_tokens)
-        if session.finished:
-            self._remaining_sessions -= 1
-        else:
-            think = session.conversation.turns[session.next_turn].think_time
-            if self.next_turn_hook is not None:
-                hook = self.next_turn_hook
-                self.sim.after(think, lambda: hook(self, session))
+            session.record_turn_served(record.prompt_tokens, record.generated_tokens)
+            if session.finished:
+                self._remaining_sessions -= 1
+                if drop_finished:
+                    # Streamed replay: the session will never be looked
+                    # up again (its KV lives in the store until evicted
+                    # or expired), so holding it would make memory
+                    # O(total sessions).
+                    del sessions[session_id]
             else:
-                self.sim.after(think, lambda: self._submit_next_turn(session))
-        return blocking
+                think = session.conversation.turns[session.next_turn].think_time
+                timer = session.timer
+                if timer is None:
+                    timer = NextTurnTimer(self, session)
+                    session.timer = timer
+                else:
+                    # The session may have migrated here: the timer must
+                    # complete against the replica that served this turn.
+                    timer.engine = self
+                after(think, timer)
+        self._hbm_reserved_tokens -= reserved_delta
+        self.metrics.record_turns([job.record for job in finished])
+        return blocking_total
 
     def _save_kv(self, job: ActiveJob, session: SessionState) -> float:
         """Write the turn's newly produced KV to AttentionStore."""
@@ -809,8 +931,7 @@ class ServingEngine:
         # Only the KV produced this turn crosses PCIe; reused history
         # already lives in the store.
         delta_tokens = record.new_tokens + record.generated_tokens
-        n_bytes = self.model.kv_bytes(delta_tokens)
-        save_time = self.pcie_d2h.duration(n_bytes)
+        n_bytes, save_time = self._save_cost(delta_tokens)
         done = self._fault_tolerant_transfer(self.pcie_d2h, now, n_bytes)
         if done is None:
             # The write-back failed: the stored copy is incomplete, so the
@@ -829,6 +950,18 @@ class ServingEngine:
             )
         return sync_save_blocking_time(save_time)
 
+    def _save_cost_uncached(self, delta_tokens: int) -> tuple[int, float]:
+        """(bytes, unloaded PCIe seconds) for one turn's KV write-back.
+
+        Both depend only on ``delta_tokens`` — KV bytes/token and the
+        d2h link's nominal bandwidth are fixed for the run — so the
+        engine memoises the pair (``self._save_cost``).  Note this is
+        the *duration at full bandwidth* used by the overlap model; the
+        actual (contended) transfer still goes through the channel.
+        """
+        n_bytes = self.model.kv_bytes(delta_tokens)
+        return n_bytes, self.pcie_d2h.duration(n_bytes)
+
     # ------------------------------------------------------------------
     # Replica lifecycle (cluster crash/restart entry points)
     # ------------------------------------------------------------------
@@ -845,6 +978,11 @@ class ServingEngine:
         stays recorded: the GPU really burned it.
         """
         self._epoch += 1
+        # Abandon the preallocated continuation set: any instance still
+        # sitting in the event queue keeps its pre-crash epoch and no-ops
+        # when it fires; reusing it for post-restart work would overwrite
+        # those fields and turn the no-op into an early fire.
+        self._init_continuations()
         interrupted: list[TurnRequest] = []
         while self.queue:
             interrupted.append(self.queue.pop())
@@ -877,34 +1015,30 @@ class ServingEngine:
         if self.store is not None:
             readmitted, discarded = self.store.restore_offline(now, keep)
             if self.store.config.ttl_seconds is not None:
-                self._after_epoch(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+                self._schedule_ttl_sweep()
         return readmitted, discarded
 
     # ------------------------------------------------------------------
     # Background maintenance
     # ------------------------------------------------------------------
-    def _after_epoch(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule a continuation that a crash invalidates.
+    def _schedule_ttl_sweep(self) -> None:
+        """Arm the next TTL sweep under the current crash epoch.
 
-        Captures the current crash epoch; when the event fires after an
-        intervening :meth:`crash`, it no-ops — the aborted prefill or
-        decode must not release a GPU the restarted replica never
-        occupied.  With no crashes scheduled the epoch never changes and
-        this is exactly ``sim.after``.
+        The sweep chain is single-flight (each firing arms the next), so
+        the one preallocated :class:`TtlSweep` is always free here; a
+        sweep armed before a crash keeps the stale epoch — and the stale
+        instance — and no-ops, while :meth:`restart` re-arms the fresh
+        instance under the new epoch.
         """
-        epoch = self._epoch
-
-        def fire() -> None:
-            if self._epoch == epoch:
-                callback()
-
-        self.sim.after(delay, fire)
+        cont = self._ttl_sweep_cont
+        cont.epoch = self._epoch
+        self.sim.after(self.TTL_SWEEP_INTERVAL, cont)
 
     def _ttl_sweep(self) -> None:
         assert self.store is not None
         self.store.sweep_expired(self._clock.now)
         if self._remaining_sessions > 0:
-            self._after_epoch(self.TTL_SWEEP_INTERVAL, self._ttl_sweep)
+            self._schedule_ttl_sweep()
 
     # ------------------------------------------------------------------
     # GPU occupancy bookkeeping

@@ -218,6 +218,32 @@ class MetricsCollector:
         self._dropped_sum += record.dropped_tokens
         self._ttft_hist.add(record.ttft)
 
+    def record_turns(self, records: "list[TurnRecord]") -> None:
+        """Record a decode chunk's completed turns in one call.
+
+        Equivalent to calling :meth:`record_turn` per record in order —
+        min/max folds are order-insensitive and exact mode appends in the
+        same order, so results are bit-identical — but the engine's
+        completion loop pays the attribute lookups once per chunk instead
+        of once per turn.
+        """
+        if self.streaming:
+            for record in records:
+                self.record_turn(record)
+            return
+        warmup = self.warmup_turns
+        first = self._first_arrival
+        last = self._last_completion
+        for record in records:
+            record.in_eval_window = record.global_turn >= warmup
+            if first is None or record.arrival_time < first:
+                first = record.arrival_time
+            if record.completion_time > last:
+                last = record.completion_time
+        self._first_arrival = first
+        self._last_completion = last
+        self.records.extend(records)
+
     def record_gpu_busy(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError(f"seconds must be >= 0, got {seconds}")

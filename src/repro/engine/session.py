@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..workload.trace import Conversation
+
+if TYPE_CHECKING:
+    from .continuations import NextTurnTimer
 
 
 @dataclass(slots=True)
@@ -22,6 +26,11 @@ class SessionState:
     history_tokens: int = 0
     truncated_tokens_total: int = 0
     overflow_events: int = 0
+    #: The session's reusable think-time timer (at most one is pending per
+    #: session), created at the first turn completion and rescheduled for
+    #: every later gap.  Excluded from comparison/repr: scheduling plumbing,
+    #: not conversation state.
+    timer: "NextTurnTimer | None" = field(default=None, compare=False, repr=False)
 
     @property
     def session_id(self) -> int:

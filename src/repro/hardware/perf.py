@@ -54,6 +54,16 @@ class PerfModel:
         object.__setattr__(
             self, "_prefill_time_cached", lru_cache(maxsize=None)(self._prefill_time)
         )
+        # Decode-chunk costs repeat heavily: a steady batch re-derives the
+        # same (context_sum, batch, n_iterations) key every chunk.  Keys
+        # are exact (no bucketing — rounding would change simulated
+        # timing); the cache is bounded so a multi-million-session
+        # streaming replay cannot grow it without limit.
+        object.__setattr__(
+            self,
+            "_decode_segment_cached",
+            lru_cache(maxsize=4096)(self._decode_segment_time_from_sum),
+        )
 
     # ------------------------------------------------------------------
     # Compute
@@ -114,7 +124,17 @@ class PerfModel:
         self, context_sum: int, batch: int, n_iterations: int
     ) -> float:
         """Like :meth:`decode_segment_time`, from the batch's total context
-        length instead of the per-sequence list (O(1) for the simulator)."""
+        length instead of the per-sequence list (O(1) for the simulator).
+
+        Memoised per exact ``(context_sum, batch, n_iterations)`` key —
+        the simulator asks for the same chunk shape once per decode chunk
+        of a steady batch.
+        """
+        return self._decode_segment_cached(context_sum, batch, n_iterations)
+
+    def _decode_segment_time_from_sum(
+        self, context_sum: int, batch: int, n_iterations: int
+    ) -> float:
         if n_iterations < 0:
             raise ValueError(f"n_iterations must be >= 0, got {n_iterations}")
         if n_iterations == 0:

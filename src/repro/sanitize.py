@@ -57,9 +57,49 @@ class SimSanError(AssertionError):
     """A SimSan invariant violation (the run state is corrupt)."""
 
 
+# sanitize_enabled() sits on the engine's per-turn timing path (the
+# overlap models self-check when active), so the parsed value is cached
+# against the raw environment value.  The guard compares by *identity*:
+# a monkeypatched/rewritten value is a fresh object and forces a
+# re-parse, while the steady-state call sees the same object and skips
+# the decode/strip/lower/set-lookup work.
+#
+# On CPython the raw value is read straight out of ``os.environ._data``
+# (the underlying dict): ``os.environ.get`` funnels through a
+# ``__getitem__`` that *raises and catches* KeyError for the common
+# unset case, which cProfile shows as thousands of avoidable exception
+# round-trips per replay.  ``dict.get`` on the backing store never
+# raises, and the stored (encoded) value object is stable between
+# mutations, so identity caching works for set *and* unset states.
+# Non-CPython mappings without ``_data`` fall back to ``environ.get``.
+_environ_data = getattr(os.environ, "_data", None)
+_environ_decode = getattr(os.environ, "decodevalue", None)
+if _environ_data is None or _environ_decode is None:
+    _environ_data = None
+    _SANITIZE_KEY: object = SANITIZE_ENV
+else:
+    _SANITIZE_KEY = os.environ.encodekey(SANITIZE_ENV)
+_env_raw_cache: object = object()  # sentinel: never matches a real read
+_env_enabled_cache = False
+
+
 def sanitize_enabled() -> bool:
     """Whether ``REPRO_SANITIZE`` asks for sanitized runs."""
-    return os.environ.get(SANITIZE_ENV, "").strip().lower() in _TRUTHY
+    global _env_raw_cache, _env_enabled_cache
+    data = _environ_data
+    if data is not None:
+        raw: object = data.get(_SANITIZE_KEY)
+        if raw is _env_raw_cache:
+            return _env_enabled_cache
+        value = None if raw is None else _environ_decode(raw)
+    else:
+        raw = os.environ.get(SANITIZE_ENV)
+        if raw is _env_raw_cache:
+            return _env_enabled_cache
+        value = raw
+    _env_raw_cache = raw
+    _env_enabled_cache = value is not None and value.strip().lower() in _TRUTHY
+    return _env_enabled_cache
 
 
 def _mutation_stride() -> int:

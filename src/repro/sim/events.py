@@ -440,12 +440,21 @@ class EventQueue:
 class LegacyEventQueue:
     """The original single binary heap keyed by (time, seq).
 
-    Kept verbatim as the oracle for the calendar queue's differential
-    property tests and as the baseline side of the scheduler
-    microbenchmarks; ``Simulator(legacy_core=True)`` runs on it.
+    The oracle for the calendar queue's differential property tests and
+    the baseline side of the scheduler microbenchmarks
+    (``Simulator(legacy_core=True)`` runs the original per-event loop on
+    it) — and, since the microbenchmarks showed it *beating* the
+    calendar queue on the dispatch-dominated shapes engine replays
+    produce (unique-timestamp dispatch, push/pop churn, steady chains;
+    see DESIGN.md §12), also the ``core="heap"``/``core="auto"``
+    production core: it implements the same batched-dispatch surface
+    (``collect_batch``/``requeue_front``/``_free``) as
+    :class:`EventQueue`.  Pop order is identical — exactly ascending
+    (time, seq) — so the core choice can never change simulation
+    results.
     """
 
-    __slots__ = ("_heap", "_next_seq", "_n_live")
+    __slots__ = ("_heap", "_next_seq", "_n_live", "_free")
 
     def __init__(self) -> None:
         # Heap entries are [time, seq, event]: seq is unique, so the
@@ -453,6 +462,11 @@ class LegacyEventQueue:
         self._heap: list[_Entry] = []
         self._next_seq = 0
         self._n_live = 0
+        # Recycled Event objects (see Simulator.run's refcount guard).
+        # Only the batched dispatch loop feeds this; under the legacy
+        # per-event loop it stays empty and push allocates as it always
+        # did.
+        self._free: list[Event] = []
 
     def __len__(self) -> int:
         return self._n_live
@@ -470,10 +484,75 @@ class LegacyEventQueue:
             raise ValueError(f"event time must be >= 0, got {time}")
         seq = self._next_seq
         self._next_seq = seq + 1
-        event = Event(time, seq, callback, False, self)
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq
+            event.callback = callback
+            event.cancelled = False
+            event._queue = self
+        else:
+            event = Event(time, seq, callback, False, self)
         heapq.heappush(self._heap, [time, seq, event])
         self._n_live += 1
         return event
+
+    def collect_batch(
+        self,
+        out: list[Event],
+        limit: float | None = None,
+        max_n: int | None = None,
+    ) -> float | None:
+        """Pop every live event sharing the earliest pending timestamp.
+
+        Same contract as :meth:`EventQueue.collect_batch`: appends the
+        events in scheduling order (the heap yields equal times in seq
+        order), returns their shared time, and consumes nothing when the
+        queue is empty or the head is later than ``limit``.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+        if not heap:
+            return None
+        t0: float = heap[0][0]
+        if limit is not None and t0 > limit:
+            return None
+        if max_n is not None and max_n <= 0:
+            return None
+        n_popped = 0
+        while heap and heap[0][0] == t0:  # repro-lint: allow=float-eq (exact same-timestamp batching; equality of scheduled times is semantic, not a tolerance check)
+            entry = heappop(heap)
+            event: Event = entry[2]
+            if event.cancelled:
+                continue
+            entry[2] = None
+            event._queue = None
+            out.append(event)
+            n_popped += 1
+            if max_n is not None and n_popped >= max_n:
+                break
+        self._n_live -= n_popped
+        return t0
+
+    def requeue_front(self, events: list[Event]) -> None:
+        """Splice just-popped events back into the queue.
+
+        Mirror of :meth:`EventQueue.requeue_front` for aborted batches;
+        the events carry their original (time, seq) keys, so pushing
+        them back restores exactly the pre-batch order.
+        """
+        heappush = heapq.heappush
+        n = 0
+        for event in events:
+            if event.cancelled:
+                continue
+            event._queue = self
+            heappush(self._heap, [event.time, event.seq, event])
+            n += 1
+        self._n_live += n
 
     def pop(self) -> Event | None:
         """Remove and return the earliest live event, or None if empty."""

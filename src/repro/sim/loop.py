@@ -1,17 +1,40 @@
 """The discrete-event simulation loop.
 
 ``Simulator.run`` dispatches in *timestamp batches*: one
-``EventQueue.collect_batch`` call settles the queue head and drains
-every event sharing that timestamp, the clock advances once per unique
-time, and the ``profiler``/``event_hook`` attribute checks are hoisted
-out of the per-event inner loop into a pre-selected dispatch branch.
-Events the loop can prove are externally unreferenced are recycled onto
-the queue's free list instead of being left to the allocator.
+``collect_batch`` call settles the queue head and drains every event
+sharing that timestamp, the clock advances once per unique time, and
+the ``profiler``/``event_hook`` attribute checks are hoisted out of the
+per-event inner loop into a pre-selected dispatch branch.  Events the
+loop can prove are externally unreferenced are recycled onto the
+queue's free list instead of being left to the allocator.
+
+Two queue cores implement the batched-dispatch surface, selected by the
+``core`` argument (both pop in exactly ascending (time, seq) order, so
+the choice can never change simulation results — only wall-clock):
+
+* ``"heap"`` — the binary heap.  Fastest on the dispatch-dominated
+  shapes engine replays produce: mostly-unique timestamps, push/pop
+  churn, a few hundred pending events (the scheduler microbenchmarks
+  in BENCH_sim.json have it ahead on ``push_pop``, ``dispatch_unique``
+  and ``dispatch_steady``).
+* ``"calendar"`` — the calendar queue (DESIGN.md §12).  Its edge is
+  *bounded memory under cancel-heavy loads*: it compacts stale entries
+  when they outnumber live ones, where the heap retains every cancelled
+  entry until its timestamp is reached (raw cancel marking is actually
+  faster on the heap — it skips the compaction bookkeeping).  Huge
+  same-timestamp groups also amortise its bucket promotion.
+
+``"auto"`` (the default) resolves to the heap: the engine never cancels
+events — crash invalidation uses epoch guards precisely because
+continuations *can't* be unscheduled — and replay timestamps are almost
+all unique, which is the heap's best case and the calendar queue's
+worst.  Workloads built directly on the simulator that cancel far-future
+events en masse should pass ``core="calendar"`` to keep queue memory
+proportional to the live set.
 
 ``Simulator(legacy_core=True)`` runs the original one-event-at-a-time
-loop on the original binary-heap queue — the oracle side of the
-old-vs-new bit-identity tests and the baseline for the dispatch
-microbenchmarks.
+loop on the heap queue — the oracle side of the old-vs-new bit-identity
+tests and the baseline for the dispatch microbenchmarks.
 """
 
 from __future__ import annotations
@@ -41,11 +64,24 @@ class Simulator:
     (relative delay); :meth:`run` drains the queue in time order.
     """
 
-    def __init__(self, start: float = 0.0, *, legacy_core: bool = False) -> None:
+    def __init__(
+        self,
+        start: float = 0.0,
+        *,
+        legacy_core: bool = False,
+        core: str = "auto",
+    ) -> None:
         self.clock = SimClock(start)
         self._legacy_core = legacy_core
+        if core not in ("auto", "heap", "calendar"):
+            raise ValueError(
+                f"core must be 'auto', 'heap' or 'calendar', got {core!r}"
+            )
+        # "auto" resolves to the heap (see module docstring: no consumer
+        # cancels events, and replay dispatch shapes favour it); the
+        # calendar queue remains one flag away for cancel-heavy use.
         self._queue: EventQueue | LegacyEventQueue = (
-            LegacyEventQueue() if legacy_core else EventQueue()
+            EventQueue() if core == "calendar" and not legacy_core else LegacyEventQueue()
         )
         self._events_processed = 0
         # Observation point for sanitizers (repro.sanitize): called after
@@ -108,9 +144,8 @@ class Simulator:
     def _run_batched(
         self, until: float | None = None, max_events: int | None = None
     ) -> None:
-        """The calendar-queue fast path: one collect per unique timestamp."""
+        """The batched fast path: one collect per unique timestamp."""
         queue = self._queue
-        assert isinstance(queue, EventQueue)
         clock = self.clock
         free = queue._free
         collect_batch = queue.collect_batch

@@ -830,32 +830,47 @@ class AttentionStore:
             # SSD breaker open: DRAM-only operation until a probe recovers.
             return []
 
-        # DRAM occupied by pinned (actively serving) sessions is not
-        # available to the look-ahead window.
         items = self._items
-        pinned_bytes = 0
-        for session_id in pinned:
-            item = items.get(session_id)
-            if item is not None and item.tier is Tier.DRAM:
-                pinned_bytes += item.n_bytes
         capacity = self.dram_tier.capacity_bytes
         fraction = self.config.prefetch_capacity_fraction
+        avg_bytes = max(self.avg_item_bytes, 1.0)
+
+        # Fast guard, run *before* the pinned/budget work: if no session
+        # in the look-ahead window is disk-resident, the plan necessarily
+        # issues nothing.  The guard window uses the zero-pinned
+        # overapproximation of the window length — the real window
+        # (computed below) only shrinks as pinned bytes grow, so
+        # disjointness on the larger window implies it on the real one,
+        # and the common no-op case skips the per-pinned-item walk
+        # entirely.  ``disk_ids`` is a dict-keys view and the window a
+        # C-level slice of the queue's id deque, so the guard runs at C
+        # speed.  The engine replans after every queue push/pop, so the
+        # no-op case is by far the most common.
+        max_window_len = max(1, int(capacity * fraction / avg_bytes))
+        head_window_list = getattr(queue, "head_window_list", None)
+        if head_window_list is not None:
+            window = head_window_list(max_window_len)
+        else:
+            window = list(queue.head_window(max_window_len))
+        if disk_ids.isdisjoint(window):
+            return []
+
+        # DRAM occupied by pinned (actively serving) sessions is not
+        # available to the look-ahead window.  ``pinned & dram_ids`` is a
+        # C-level set intersection, so the Python loop only touches the
+        # (usually few) pinned sessions actually DRAM-resident instead of
+        # probing the item dict for every pinned session.
+        pinned_bytes = 0
+        for session_id in pinned & self.dram_tier.session_ids():
+            pinned_bytes += items[session_id].n_bytes
         budget = int(max(0, capacity - pinned_bytes) * fraction)
         if budget <= 0:
             return []
-        window_len = max(1, int(budget / max(self.avg_item_bytes, 1.0)))
-        head_window_list = getattr(queue, "head_window_list", None)
-        if head_window_list is not None:
-            window = head_window_list(window_len)
-        else:
-            window = list(queue.head_window(window_len))
-        # Fast guard, run *before* the budget walk: if no session in the
-        # window is disk-resident, the plan below necessarily issues
-        # nothing.  The engine replans after every queue push/pop, so this
-        # is the common case by far.  ``disk_ids`` is a dict-keys view, so
-        # disjointness runs in C.
-        if disk_ids.isdisjoint(window):
-            return []
+        window_len = max(1, int(budget / avg_bytes))
+        if window_len < len(window):
+            window = window[:window_len]
+            if disk_ids.isdisjoint(window):
+                return []
 
         # Budget walk, semantically identical to
         # :func:`repro.store.prefetch.plan_prefetches` but operating on the

@@ -7,7 +7,7 @@ from .arrivals import (
     PoissonArrivals,
     make_arrival_process,
 )
-from .generator import generate_trace
+from .generator import generate_trace, stream_trace
 from .spec import LognormalSpec, WorkloadSpec
 from .stats import (
     TurnStats,
@@ -41,5 +41,6 @@ __all__ = [
     "repetition_fraction",
     "session_length_percentiles",
     "session_length_survival",
+    "stream_trace",
     "turn_count_histogram",
 ]

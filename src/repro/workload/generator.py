@@ -6,7 +6,7 @@ paper statistics they are fit to.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -48,6 +48,13 @@ def generate_trace(
     Returns:
         A :class:`~repro.workload.trace.Trace` with ``spec.n_sessions``
         conversations and lognormal turn lengths.
+
+    The returned trace is fully materialised — every conversation object
+    exists before the engine sees the first arrival.  For replays too
+    large to hold in memory, :func:`stream_trace` generates the same
+    *kind* of workload lazily (block-seeded, so it is a different random
+    sequence for the same seed) and can be passed straight to
+    ``ServingEngine.run``.
     """
     if spec is None:
         spec = WorkloadSpec()
@@ -102,3 +109,105 @@ def generate_trace(
             "seed": spec.seed,
         },
     )
+
+
+#: Sessions drawn per block by :func:`stream_trace`.  Large enough that
+#: the vectorised numpy draws amortise, small enough that one block is
+#: negligible next to the engine's live-session state.
+DEFAULT_STREAM_BLOCK = 4096
+
+
+def stream_trace(
+    spec: WorkloadSpec | None = None,
+    *,
+    block_sessions: int = DEFAULT_STREAM_BLOCK,
+    **overrides: Any,
+) -> Iterator[Conversation]:
+    """Generate a conversation workload lazily, in arrival order.
+
+    Yields the same *kind* of workload as :func:`generate_trace` — same
+    turn-count, token-length and think-time distributions — but draws it
+    in fixed-size blocks from per-block random substreams, so:
+
+    * **O(block) memory** — at most one block of numpy draws exists at a
+      time; the conversations themselves are yielded one by one and can
+      be dropped by the consumer as sessions finish.  Paired with the
+      engine's streaming ``schedule_trace`` path, a 100K-session replay
+      never materialises more than the live sessions plus one block.
+    * **Prefix stability** — block ``b`` is drawn from the substream
+      ``SeedSequence(seed, spawn_key=(b,))``, independent of
+      ``n_sessions``.  Streams with the same seed agree conversation-
+      for-conversation on their common prefix, so a short smoke run is
+      a prefix of the full run.
+    * **Monotone arrivals** — arrivals are a Poisson process (cumulative
+      exponential gaps, the paper's baseline) whose offset carries
+      across blocks, so yielded arrival times never decrease — the
+      ordering contract the engine's streamed-arrival chain validates.
+
+    Because the substreams differ from :func:`generate_trace`'s single
+    sequential stream, the two functions produce *different* (equally
+    distributed) workloads for the same seed.  Materialising a stream
+    (``Trace(conversations=list(stream_trace(...)))``) and replaying it
+    gives bit-identical results to feeding the stream directly.
+
+    Args:
+        spec: workload specification (defaults to the paper's settings);
+            keyword ``overrides`` replace individual fields.  Arrivals
+            are always Poisson at ``spec.arrival_rate`` — bursty/diurnal
+            processes sample sequentially and are not prefix-stable, so
+            they remain exclusive to :func:`generate_trace`.
+        block_sessions: sessions drawn per substream block.
+    """
+    if spec is None:
+        spec = WorkloadSpec()
+    if overrides:
+        from dataclasses import replace
+
+        spec = replace(spec, **overrides)
+    if block_sessions <= 0:
+        raise ValueError(f"block_sessions must be positive, got {block_sessions}")
+
+    n = spec.n_sessions
+    mean_gap = 1.0 / spec.arrival_rate
+    arrival_offset = 0.0
+    session_id = 0
+    for block_index in range(0, -(-n // block_sessions)):
+        block_n = min(block_sessions, n - block_index * block_sessions)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(spec.seed, spawn_key=(block_index,))
+        )
+        # Same draw order as generate_trace, scoped to this block.  Every
+        # draw uses the *full* block size even when only a prefix is
+        # yielded (the final block of a short stream): sizing a draw by
+        # ``block_n`` would leave the substream at a different position
+        # for the next draw and break prefix stability against a longer
+        # stream that fills the same block.
+        arrivals = arrival_offset + np.cumsum(
+            rng.exponential(mean_gap, size=block_sessions)
+        )
+        arrival_offset = float(arrivals[-1])
+        turn_counts = _draw_turn_counts(rng, spec, block_sessions)
+        total_turns = int(turn_counts.sum())
+        q_lengths = _draw_lengths(rng, spec.q_tokens, total_turns)
+        a_lengths = _draw_lengths(rng, spec.a_tokens, total_turns)
+        think_times = rng.lognormal(
+            mean=spec.think_time_mu, sigma=spec.think_time_sigma, size=total_turns
+        )
+        cursor = 0
+        for i in range(block_n):
+            k = int(turn_counts[i])
+            turns = tuple(
+                Turn(
+                    q_tokens=int(q_lengths[cursor + j]),
+                    a_tokens=int(a_lengths[cursor + j]),
+                    think_time=0.0 if j == 0 else float(think_times[cursor + j]),
+                )
+                for j in range(k)
+            )
+            cursor += k
+            yield Conversation(
+                session_id=session_id,
+                arrival_time=float(arrivals[i]),
+                turns=turns,
+            )
+            session_id += 1

@@ -1,0 +1,88 @@
+"""Output contract of the event-loop profile artifact.
+
+CI uploads ``BENCH_profile.txt`` per commit and the regression harness
+records ``profile.top_callbacks`` in ``BENCH_sim.json``; downstream
+tooling (and humans diffing two commits' artifacts) rely on the header
+line and the table shape staying stable.  These tests pin that contract
+against a freshly profiled replay and against the checked-in baseline.
+"""
+
+import json
+import re
+from pathlib import Path
+
+from repro.config import EngineConfig
+from repro.engine import ServingEngine
+from repro.models import get_model
+from repro.obs import EventLoopProfiler
+from repro.workload import WorkloadSpec, generate_trace
+
+BENCH_SIM = Path(__file__).resolve().parents[2] / "BENCH_sim.json"
+
+HEADER_RE = re.compile(
+    r"^event loop: (?P<events>\d+) events in (?P<wall>\d+\.\d{3})s wall "
+    r"\((?P<eps>[\d,]+) events/s, sampled 1/(?P<every>\d+)\)$"
+)
+
+
+def profiled_report(n_sessions: int = 40, sample_every: int = 4):
+    engine = ServingEngine(
+        get_model("llama-13b"), engine_config=EngineConfig(batch_size=8)
+    )
+    profiler = EventLoopProfiler(sample_every=sample_every)
+    profiler.install(engine.sim)
+    result = engine.run(generate_trace(WorkloadSpec(n_sessions=n_sessions, seed=7)))
+    return profiler.report(), result
+
+
+class TestFormattedReport:
+    def test_header_line_contract(self):
+        report, result = profiled_report(sample_every=8)
+        header = report.format().splitlines()[0]
+        match = HEADER_RE.match(header)
+        assert match, header
+        assert int(match["events"]) == result.events_processed
+        assert int(match["every"]) == 8
+
+    def test_table_shape(self):
+        report, _ = profiled_report()
+        lines = report.format().splitlines()
+        # Header, column row, separator, then one line per callback row.
+        columns = lines[1]
+        for name in ("callback", "count", "sampled", "mean µs", "est total s", "share"):
+            assert name in columns, columns
+        assert set(lines[2]) <= {"-", " "}, lines[2]
+        body = lines[3:]
+        assert len(body) == len(report.rows)
+        for line, row in zip(body, report.rows):
+            assert line.lstrip().startswith(row.name), (line, row.name)
+            assert line.rstrip().endswith("%"), line
+
+    def test_rows_name_continuation_classes_not_closures(self):
+        """Engine events dispatch through slotted continuation instances,
+        so profile rows carry class names — a ``<locals>`` qualname means
+        a per-event closure crept back into the turn path."""
+        report, _ = profiled_report()
+        names = {row.name for row in report.rows}
+        assert any(
+            name in names for name in ("DecodeChunkDone", "PrefillSliceDone")
+        ), names
+        engine_rows = {n for n in names if "<locals>" in n}
+        assert not engine_rows, engine_rows
+
+
+class TestCheckedInBaseline:
+    def test_profile_section_contract(self):
+        payload = json.loads(BENCH_SIM.read_text())
+        profile = payload["profile"]
+        top = profile["top_callbacks"]
+        assert isinstance(top, list) and top, profile
+        assert all(isinstance(name, str) and name for name in top)
+        assert profile["out_path"] == "BENCH_profile.txt"
+        # The shares recorded for the top callbacks are valid fractions
+        # and the pre-refactor epoch-guard closure stays demoted.
+        shares = profile["top_shares"]
+        assert set(shares) == set(top)
+        assert all(0.0 <= share <= 1.0 for share in shares.values())
+        assert profile["epoch_guard_share"] < 0.40
+        assert all("<locals>" not in name for name in top), top
