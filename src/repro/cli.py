@@ -237,13 +237,42 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="simulator-specific static analysis (determinism, float "
-        "safety, slots hygiene, cluster isolation, typing)",
+        "safety, slots hygiene, cluster isolation, typing; --flow adds "
+        "whole-program call-graph passes)",
     )
     lint.add_argument(
         "paths",
         nargs="*",
         default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the whole-program analyzer (taint, epoch guards, "
+        "store-protocol typestate, batch races)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--baseline", default=None, help="flow baseline file override"
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the flow baseline (ratcheted)",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true", help="bypass the flow summary cache"
+    )
+    lint.add_argument(
+        "--unused-suppressions",
+        action="store_true",
+        help="report allow comments whose rule never fires",
     )
     return parser
 
@@ -664,7 +693,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """Run repro-lint over the given paths (exit 1 on findings)."""
     from .lint.checker import run_lint
 
-    return run_lint(list(args.paths))
+    argv = list(args.paths)
+    if args.flow:
+        argv.append("--flow")
+    if args.format != "text":
+        argv.extend(["--format", args.format])
+    if args.baseline is not None:
+        argv.extend(["--baseline", args.baseline])
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.unused_suppressions:
+        argv.append("--unused-suppressions")
+    return run_lint(argv)
 
 
 COMMANDS = {

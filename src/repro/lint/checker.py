@@ -5,11 +5,11 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from .config import LintConfig, load_config
 from .diagnostics import Diagnostic
-from .rules import RULES, RULES_BY_NAME
+from .rules import ALL_RULE_NAMES, RULES
 
 #: Inline suppression: ``# repro-lint: allow=<rule>[,<rule>...] (<why>)``.
 #: The parenthesised justification is mandatory — a suppression that cannot
@@ -20,13 +20,111 @@ _ALLOW_RE = re.compile(
 )
 
 BARE_ALLOW = "bare-allow"
+UNUSED_SUPPRESSION = "unused-suppression"
+
+
+def statement_spans(tree: ast.Module) -> dict[int, tuple[int, int]]:
+    """Map each source line to the line span of its enclosing statement.
+
+    Simple statements span all their physical lines; compound statements
+    (defs, classes, ifs, loops) contribute only their *header* lines —
+    decorators through the line before the first body statement — so a
+    suppression inside a function body never leaks onto the whole def.
+    The map lets a suppression comment anywhere on a multi-line statement
+    (or on a decorator line) cover findings anchored at the statement's
+    first line, and vice versa.
+    """
+    spans: dict[int, tuple[int, int]] = {}
+
+    def claim(start: int, end: int) -> None:
+        if end < start:
+            end = start
+        for line in range(start, end + 1):
+            spans[line] = (start, end)
+
+    # Compound headers first; simple statements then override any overlap
+    # (e.g. a same-line ``if x: y = 1`` body) with their tighter span.
+    simple: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, *(d.lineno for d in decorators))
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            claim(start, max(start, body[0].lineno - 1))
+        else:
+            end = node.end_lineno if node.end_lineno is not None else start
+            simple.append((start, end))
+    for start, end in simple:
+        claim(start, end)
+    return spans
+
+
+class SpanAllows:
+    """Suppression matching over statement spans, with usage tracking.
+
+    Built either from source text plus a parsed tree, or (for the flow
+    analyzer's cached summaries) from pre-extracted ``(line, rules)``
+    pairs and spans.  ``allows`` records which comments matched so the
+    ``--unused-suppressions`` audit can report the ones that never fire.
+    """
+
+    def __init__(
+        self,
+        by_line: dict[int, frozenset[str]],
+        spans: dict[int, tuple[int, int]],
+    ) -> None:
+        self.by_line = by_line
+        self.spans = spans
+        self.used: set[tuple[int, str]] = set()
+
+    def _candidates(self, line: int) -> Iterator[int]:
+        span = self.spans.get(line)
+        if span is None:
+            yield line
+            return
+        yield from range(span[0], span[1] + 1)
+
+    def allows(self, line: int, rule: str) -> bool:
+        """Whether a finding of ``rule`` anchored at ``line`` is allowed."""
+        for candidate in self._candidates(line):
+            allowed = self.by_line.get(candidate)
+            if allowed is not None and rule in allowed:
+                self.used.add((candidate, rule))
+                return True
+        return False
+
+    def unused(self, path: str) -> list[Diagnostic]:
+        """Suppression comments whose rule never fired on their statement."""
+        out: list[Diagnostic] = []
+        for line, rules in sorted(self.by_line.items()):
+            for rule in sorted(rules):
+                if rule not in ALL_RULE_NAMES:
+                    continue  # already reported as a bare-allow finding
+                if (line, rule) not in self.used:
+                    out.append(
+                        Diagnostic(
+                            path,
+                            line,
+                            0,
+                            UNUSED_SUPPRESSION,
+                            f"suppression for '{rule}' never fires on this "
+                            "statement; remove the dead allow comment",
+                        )
+                    )
+        return out
 
 
 class Suppressions:
-    """Per-file map of line number -> allowed rule names."""
+    """Per-file suppression comments: parse, validate, match."""
 
-    def __init__(self, path: str, source: str) -> None:
-        self.by_line: dict[int, frozenset[str]] = {}
+    def __init__(
+        self, path: str, source: str, tree: ast.Module | None = None
+    ) -> None:
+        by_line: dict[int, frozenset[str]] = {}
         self.bare: list[Diagnostic] = []
         self.unknown: list[Diagnostic] = []
         for lineno, text in enumerate(source.splitlines(), start=1):
@@ -49,8 +147,8 @@ class Suppressions:
                     )
                 )
                 continue
-            for name in rules:
-                if name not in RULES_BY_NAME:
+            for name in sorted(rules):
+                if name not in ALL_RULE_NAMES:
                     self.unknown.append(
                         Diagnostic(
                             path,
@@ -60,11 +158,50 @@ class Suppressions:
                             f"suppression names unknown rule '{name}'",
                         )
                     )
-            self.by_line[lineno] = rules
+            by_line[lineno] = rules
+        spans = statement_spans(tree) if tree is not None else {}
+        self.matcher = SpanAllows(by_line, spans)
+
+    @property
+    def by_line(self) -> dict[int, frozenset[str]]:
+        return self.matcher.by_line
 
     def allows(self, line: int, rule: str) -> bool:
-        allowed = self.by_line.get(line)
-        return allowed is not None and rule in allowed
+        return self.matcher.allows(line, rule)
+
+
+def lint_module(
+    source: str,
+    path: str = "<string>",
+    module: str = "",
+    config: LintConfig | None = None,
+) -> tuple[list[Diagnostic], Suppressions | None]:
+    """Lint one module; return (diagnostics, suppression state).
+
+    The suppression state is ``None`` when the module failed to parse.
+    """
+    cfg = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno if exc.lineno is not None else 1
+        col = exc.offset if exc.offset is not None else 0
+        return [Diagnostic(path, line, col, "syntax-error", str(exc.msg))], None
+    suppressions = Suppressions(path, source, tree)
+    diagnostics: list[Diagnostic] = [*suppressions.bare, *suppressions.unknown]
+    for rule in RULES:
+        if rule.name in cfg.disable:
+            continue
+        if not rule.applies_to(module, cfg):
+            continue
+        for finding in rule.check(tree, module, cfg):
+            if suppressions.allows(finding.line, rule.name):
+                continue
+            diagnostics.append(
+                Diagnostic(path, finding.line, finding.col, rule.name, finding.message)
+            )
+    diagnostics.sort(key=Diagnostic.sort_key)
+    return diagnostics, suppressions
 
 
 def lint_source(
@@ -79,27 +216,7 @@ def lint_source(
     pass it explicitly to pull fixture snippets into (or out of) the
     hot-path/cluster scopes.
     """
-    cfg = config if config is not None else LintConfig()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        line = exc.lineno if exc.lineno is not None else 1
-        col = exc.offset if exc.offset is not None else 0
-        return [Diagnostic(path, line, col, "syntax-error", str(exc.msg))]
-    suppressions = Suppressions(path, source)
-    diagnostics: list[Diagnostic] = [*suppressions.bare, *suppressions.unknown]
-    for rule in RULES:
-        if rule.name in cfg.disable:
-            continue
-        if not rule.applies_to(module, cfg):
-            continue
-        for finding in rule.check(tree, module, cfg):
-            if suppressions.allows(finding.line, rule.name):
-                continue
-            diagnostics.append(
-                Diagnostic(path, finding.line, finding.col, rule.name, finding.message)
-            )
-    diagnostics.sort(key=Diagnostic.sort_key)
+    diagnostics, _ = lint_module(source, path=path, module=module, config=config)
     return diagnostics
 
 
@@ -129,10 +246,26 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
+def read_python_source(path: Path) -> str:
+    """Read a module's text, tolerating a UTF-8 byte-order mark.
+
+    ``ast.parse`` rejects a leading U+FEFF in str input even though the
+    file is a valid Python source; decoding as utf-8-sig strips it.
+    """
+    return path.read_text(encoding="utf-8-sig")
+
+
 def lint_paths(
-    paths: Iterable[Path], config: LintConfig | None = None
+    paths: Iterable[Path],
+    config: LintConfig | None = None,
+    *,
+    suppressions_out: dict[str, Suppressions] | None = None,
 ) -> list[Diagnostic]:
-    """Lint files/trees; loads ``[tool.repro-lint]`` when no config given."""
+    """Lint files/trees; loads ``[tool.repro-lint]`` when no config given.
+
+    ``suppressions_out``, when given, collects each file's suppression
+    state (keyed by path) for the ``--unused-suppressions`` audit.
+    """
     path_list = [Path(p) for p in paths]
     cfg = config
     if cfg is None:
@@ -140,17 +273,57 @@ def lint_paths(
         cfg = load_config(start)
     diagnostics: list[Diagnostic] = []
     for file_path in iter_python_files(path_list):
-        source = file_path.read_text(encoding="utf-8")
-        diagnostics.extend(
-            lint_source(
-                source,
-                path=str(file_path),
-                module=module_name_for(file_path),
-                config=cfg,
-            )
+        source = read_python_source(file_path)
+        file_diags, suppressions = lint_module(
+            source,
+            path=str(file_path),
+            module=module_name_for(file_path),
+            config=cfg,
         )
+        diagnostics.extend(file_diags)
+        if suppressions_out is not None and suppressions is not None:
+            suppressions_out[str(file_path)] = suppressions
     diagnostics.sort(key=Diagnostic.sort_key)
     return diagnostics
+
+
+def unused_suppression_report(
+    suppression_sets: Sequence[Mapping[str, Suppressions | SpanAllows]],
+) -> list[Diagnostic]:
+    """Merge usage across analysis layers; report never-firing allows.
+
+    A comment is *used* when any layer (per-file rules, flow passes)
+    matched it; only comments unused by every layer are dead.
+    """
+    comments: dict[tuple[str, int], set[str]] = {}
+    used: set[tuple[str, int, str]] = set()
+    matchers: dict[str, list[SpanAllows]] = {}
+    for layer in suppression_sets:
+        for path, entry in layer.items():
+            matcher = entry.matcher if isinstance(entry, Suppressions) else entry
+            matchers.setdefault(path, []).append(matcher)
+            for line, rules in matcher.by_line.items():
+                comments.setdefault((path, line), set()).update(rules)
+            for line, rule in matcher.used:
+                used.add((path, line, rule))
+    out: list[Diagnostic] = []
+    for (path, line), rules in sorted(comments.items()):
+        for rule in sorted(rules):
+            if rule not in ALL_RULE_NAMES:
+                continue
+            if (path, line, rule) not in used:
+                out.append(
+                    Diagnostic(
+                        path,
+                        line,
+                        0,
+                        UNUSED_SUPPRESSION,
+                        f"suppression for '{rule}' never fires on this "
+                        "statement; remove the dead allow comment",
+                    )
+                )
+    out.sort(key=Diagnostic.sort_key)
+    return out
 
 
 def run_lint(argv: list[str] | None = None) -> int:
@@ -169,7 +342,85 @@ def run_lint(argv: list[str] | None = None) -> int:
         default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="run the whole-program analyzer (call-graph taint, epoch "
+        "guards, store-protocol typestate, batch races) instead of the "
+        "per-file rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (json/sarif include baselined findings)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="flow baseline file (default: [tool.repro-lint.flow] "
+        "baseline, resolved against the pyproject root)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the flow baseline from the current findings; "
+        "ratcheted — refuses to add entries unless "
+        "REPRO_LINT_BASELINE_GROW=1",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the flow summary cache",
+    )
+    parser.add_argument(
+        "--unused-suppressions",
+        action="store_true",
+        help="audit mode: report `# repro-lint: allow=` comments whose "
+        "rule never fires on their statement (add --flow to credit "
+        "flow-rule suppressions too)",
+    )
     args = parser.parse_args(argv)
-    diagnostics = lint_paths([Path(p) for p in args.paths])
-    print(format_report(diagnostics))
+    paths = [Path(p) for p in args.paths]
+    config = load_config(paths[0] if paths else Path.cwd())
+
+    if args.unused_suppressions:
+        per_file: dict[str, Suppressions] = {}
+        lint_paths(paths, config, suppressions_out=per_file)
+        layers: list[Mapping[str, Suppressions | SpanAllows]] = [per_file]
+        if args.flow:
+            from .flow import analyze_paths
+
+            flow_result = analyze_paths(
+                paths, config, use_cache=not args.no_cache
+            )
+            layers.append(flow_result.suppressions)
+        dead = unused_suppression_report(layers)
+        print(format_report(dead))
+        return 1 if dead else 0
+
+    if args.flow:
+        from .flow import run_flow
+
+        return run_flow(
+            paths,
+            config,
+            report_format=args.format,
+            baseline_path=args.baseline,
+            write_baseline=args.write_baseline,
+            use_cache=not args.no_cache,
+        )
+
+    diagnostics = lint_paths(paths, config)
+    if args.format == "json":
+        from .flow.output import findings_json
+
+        print(findings_json(diagnostics, baselined=[], limits={}))
+    elif args.format == "sarif":
+        from .flow.output import findings_sarif
+
+        print(findings_sarif(diagnostics, baselined=[]))
+    else:
+        print(format_report(diagnostics))
     return 1 if diagnostics else 0

@@ -1,0 +1,28 @@
+"""Whole-program (interprocedural) analysis for the simulator tree.
+
+Four passes over a project-wide symbol table and call graph, sharing the
+per-file linter's diagnostics/config/suppression machinery:
+
+* transitive determinism taint (``flow-wall-clock`` /
+  ``flow-unseeded-random`` / ``flow-order``),
+* epoch-guard verification for continuation classes (``epoch-guard``),
+* store-protocol typestate for the exactly-one-copy lifecycle
+  (``store-protocol``),
+* same-timestamp batch-race detection (``batch-race``).
+
+Entry points: ``repro lint --flow`` / ``python -m repro.lint --flow``.
+"""
+
+from .analyzer import FlowResult, analyze_paths, run_flow
+from .baseline import FlowFinding
+from .project import ProjectIndex, load_project, summarize_module
+
+__all__ = [
+    "FlowFinding",
+    "FlowResult",
+    "ProjectIndex",
+    "analyze_paths",
+    "load_project",
+    "run_flow",
+    "summarize_module",
+]

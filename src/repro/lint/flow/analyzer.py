@@ -1,0 +1,172 @@
+"""Orchestration for the whole-program analyzer (``repro lint --flow``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..checker import SpanAllows
+from ..config import LintConfig, find_pyproject
+from ..diagnostics import Diagnostic, format_report
+from .baseline import (
+    BaselineGrowthError,
+    FlowFinding,
+    apply_baseline,
+    load_baseline,
+)
+from .baseline import write_baseline as write_baseline_file
+from .batchrace import run_batch_race_pass
+from .cache import SummaryCache
+from .callgraph import build_call_graph
+from .epoch import run_epoch_pass
+from .project import ProjectIndex, load_project
+from .protocol import run_protocol_pass
+from .taint import run_taint_pass
+
+
+@dataclass(slots=True)
+class FlowResult:
+    """Everything one analyzer run produced (before baseline splitting)."""
+
+    findings: list[FlowFinding] = field(default_factory=list)
+    suppressions: Mapping[str, SpanAllows] = field(default_factory=dict)
+    limits: dict[str, int] = field(default_factory=dict)
+    index: ProjectIndex | None = None
+
+
+def project_root(paths: Iterable[Path]) -> Path:
+    """The pyproject root anchoring baseline/cache relative paths."""
+    for path in paths:
+        pyproject = find_pyproject(path)
+        if pyproject is not None:
+            return pyproject.parent
+    pyproject = find_pyproject(Path.cwd())
+    return pyproject.parent if pyproject is not None else Path.cwd()
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    config: LintConfig,
+    use_cache: bool = True,
+    root: Path | None = None,
+) -> FlowResult:
+    """Run all four flow passes; suppressions already applied."""
+    path_list = [Path(p) for p in paths]
+    anchor = root if root is not None else project_root(path_list)
+    cache: SummaryCache | None = None
+    if use_cache and config.flow.cache is not None:
+        cache = SummaryCache(anchor / config.flow.cache, config)
+    index = load_project(
+        path_list,
+        config,
+        cache_lookup=cache.lookup if cache is not None else None,
+    )
+    if cache is not None:
+        cache.save(index)
+    graph = build_call_graph(index)
+
+    findings: list[FlowFinding] = []
+    disabled = config.disable
+    if "flow-wall-clock" not in disabled or "flow-order" not in disabled:
+        findings.extend(
+            f
+            for f in run_taint_pass(index, graph)
+            if f.rule not in disabled
+        )
+    if "epoch-guard" not in disabled:
+        findings.extend(run_epoch_pass(index))
+    skipped = 0
+    if "store-protocol" not in disabled:
+        proto_findings, skipped = run_protocol_pass(
+            index, config.flow.max_paths
+        )
+        findings.extend(proto_findings)
+    if "batch-race" not in disabled:
+        findings.extend(run_batch_race_pass(index, config))
+    findings.sort(key=FlowFinding.sort_key)
+
+    limits = dict(index.limits)
+    limits["unresolved_calls"] = graph.unresolved
+    limits["ambiguous_calls"] = graph.ambiguous
+    limits["path_budget_exceeded"] = skipped
+    if cache is not None:
+        limits["cache_hits"] = cache.hits
+        limits["cache_misses"] = cache.misses
+    return FlowResult(
+        findings=findings,
+        suppressions=dict(index.suppressions),
+        limits=limits,
+        index=index,
+    )
+
+
+def _limits_line(limits: dict[str, int]) -> str:
+    rendered = ", ".join(f"{key}={limits[key]}" for key in sorted(limits))
+    return f"limits: {rendered}" if rendered else "limits: none"
+
+
+def run_flow(
+    paths: Iterable[Path],
+    config: LintConfig,
+    *,
+    report_format: str = "text",
+    baseline_path: Path | None = None,
+    write_baseline: bool = False,
+    use_cache: bool = True,
+) -> int:
+    """CLI driver: analyze, apply the baseline, render, return exit code."""
+    path_list = [Path(p) for p in paths]
+    root = project_root(path_list)
+    result = analyze_paths(path_list, config, use_cache=use_cache, root=root)
+    resolved_baseline = (
+        baseline_path
+        if baseline_path is not None
+        else root / config.flow.baseline
+    )
+
+    if write_baseline:
+        try:
+            kept, added = write_baseline_file(
+                resolved_baseline, result.findings, root
+            )
+        except BaselineGrowthError as exc:
+            print(str(exc))
+            return 2
+        print(
+            f"baseline written to {resolved_baseline}: "
+            f"{kept + added} entr{'y' if kept + added == 1 else 'ies'} "
+            f"({added} added)"
+        )
+        return 0
+
+    entries = load_baseline(resolved_baseline)
+    new, baselined, stale = apply_baseline(result.findings, entries, root)
+    new_diags = [f.to_diagnostic() for f in new]
+    base_diags = [f.to_diagnostic() for f in baselined]
+
+    if report_format == "json":
+        from .output import findings_json
+
+        print(findings_json(new_diags, baselined=base_diags, limits=result.limits))
+    elif report_format == "sarif":
+        from .output import findings_sarif
+
+        print(findings_sarif(new_diags, baselined=base_diags))
+    else:
+        if new_diags:
+            print(format_report(new_diags))
+        summary = (
+            f"flow: {len(new_diags)} new finding"
+            f"{'' if len(new_diags) == 1 else 's'}, "
+            f"{len(base_diags)} baselined, {len(stale)} stale baseline "
+            f"entr{'y' if len(stale) == 1 else 'ies'}; "
+            f"{_limits_line(result.limits)}"
+        )
+        print(summary)
+        if stale:
+            print(
+                "stale baseline entries can be pruned with "
+                "`python -m repro.lint --flow --write-baseline`"
+            )
+    return 1 if new_diags else 0

@@ -1,0 +1,143 @@
+"""Flow findings, fingerprints, and the ratcheted baseline file.
+
+A baseline entry is a line-number-free fingerprint of one finding:
+``(rule, relative path, scope, key)`` where *scope* is the qualified
+name of the function/class the finding lives in and *key* is a
+rule-specific stable detail (callee id for taint, mutation target for
+epoch guards, automaton event for protocol, the class pair for batch
+races).  Dropping line numbers keeps the baseline stable across
+unrelated edits to the same file; the scope/key pair keeps it precise
+enough that a *new* bug of the same rule in the same file still fails.
+
+The baseline is ratcheted: ``--write-baseline`` refuses to add entries
+unless ``REPRO_LINT_BASELINE_GROW=1`` is set, so the debt can only
+shrink in normal operation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..diagnostics import Diagnostic
+
+
+@dataclass(frozen=True, slots=True)
+class FlowFinding:
+    """One whole-program finding, carrying baseline identity."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    #: Qualified name of the enclosing function/class (or class pair).
+    scope: str
+    #: Rule-specific stable detail for fingerprinting.
+    key: str
+
+    def to_diagnostic(self) -> Diagnostic:
+        return Diagnostic(self.path, self.line, self.col, self.rule, self.message)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+def _rel_posix(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def fingerprint(finding: FlowFinding, root: Path) -> tuple[str, str, str, str]:
+    return (
+        finding.rule,
+        _rel_posix(finding.path, root),
+        finding.scope,
+        finding.key,
+    )
+
+
+def load_baseline(path: Path) -> list[tuple[str, str, str, str]]:
+    """Read baseline entries; a missing file is an empty baseline."""
+    if not path.is_file():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a repro-lint flow baseline")
+    entries: list[tuple[str, str, str, str]] = []
+    for entry in data["findings"]:
+        entries.append(
+            (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["scope"]),
+                str(entry["key"]),
+            )
+        )
+    return entries
+
+
+def apply_baseline(
+    findings: list[FlowFinding],
+    entries: list[tuple[str, str, str, str]],
+    root: Path,
+) -> tuple[list[FlowFinding], list[FlowFinding], list[tuple[str, str, str, str]]]:
+    """Split findings into (new, baselined) and report stale entries."""
+    known = set(entries)
+    matched: set[tuple[str, str, str, str]] = set()
+    new: list[FlowFinding] = []
+    baselined: list[FlowFinding] = []
+    for finding in findings:
+        fp = fingerprint(finding, root)
+        if fp in known:
+            matched.add(fp)
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [entry for entry in entries if entry not in matched]
+    return new, baselined, stale
+
+
+class BaselineGrowthError(Exception):
+    """Raised when a baseline write would add entries without opt-in."""
+
+
+def write_baseline(
+    path: Path,
+    findings: list[FlowFinding],
+    root: Path,
+) -> tuple[int, int]:
+    """Rewrite the baseline from current findings; returns (kept, added).
+
+    Shrinking (pruning stale entries) is always allowed; adding entries
+    requires ``REPRO_LINT_BASELINE_GROW=1`` — the ratchet.
+    """
+    old = set(load_baseline(path))
+    fps = sorted({fingerprint(f, root) for f in findings})
+    added = [fp for fp in fps if fp not in old]
+    if added and os.environ.get("REPRO_LINT_BASELINE_GROW") != "1":
+        listing = "\n".join(
+            f"  {rule} {rel} {scope} {key}".rstrip()
+            for rule, rel, scope, key in added
+        )
+        raise BaselineGrowthError(
+            f"refusing to grow the baseline by {len(added)} entr"
+            f"{'y' if len(added) == 1 else 'ies'} (set "
+            f"REPRO_LINT_BASELINE_GROW=1 to override):\n{listing}"
+        )
+    payload = {
+        "version": 1,
+        "tool": "repro-lint flow",
+        "findings": [
+            {"rule": rule, "path": rel, "scope": scope, "key": key}
+            for rule, rel, scope, key in fps
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(fps) - len(added), len(added)

@@ -1,0 +1,110 @@
+"""Content-keyed cache for per-module flow summaries.
+
+Summaries are pure functions of (source text, config, extractor
+version), so the cache key is a sha256 of the file contents plus a
+config digest.  mtime is stored purely as a fast path: when it matches,
+the hash check is skipped.  The cache file is a local artifact (ignored
+by git); a corrupt or version-mismatched cache is silently discarded.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from ..config import LintConfig
+from .project import SUMMARY_VERSION, ProjectIndex
+
+
+def config_digest(config: LintConfig) -> str:
+    """Stable digest of the config fields that shape summaries."""
+    payload = {
+        "disable": sorted(config.disable),
+        "rule_options": {
+            rule: {k: config.rule_options[rule][k] for k in sorted(config.rule_options[rule])}
+            for rule in sorted(config.rule_options)
+        },
+        "hot_path": list(config.hot_path_packages),
+        "version": SUMMARY_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class SummaryCache:
+    """Load/save per-file summaries keyed by content hash."""
+
+    def __init__(self, cache_path: Path, config: LintConfig) -> None:
+        self.cache_path = cache_path
+        self.digest = config_digest(config)
+        self.files: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.cache_path.is_file():
+            return
+        try:
+            data = json.loads(self.cache_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(data, dict)
+            or data.get("config") != self.digest
+            or data.get("version") != SUMMARY_VERSION
+        ):
+            return
+        files = data.get("files")
+        if isinstance(files, dict):
+            self.files = files
+
+    @staticmethod
+    def _sha(source: str) -> str:
+        return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+    def lookup(self, path: Path, source: str) -> dict[str, Any] | None:
+        """Cached summary for ``path`` when its content still matches."""
+        entry = self.files.get(str(path))
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            mtime = -1.0
+        if entry.get("mtime") != mtime and entry.get("sha") != self._sha(source):
+            self.misses += 1
+            return None
+        self.hits += 1
+        summary = entry.get("summary")
+        return summary if isinstance(summary, dict) else None
+
+    def save(self, index: ProjectIndex) -> None:
+        """Persist every summary in ``index`` with fresh content keys."""
+        files: dict[str, dict[str, Any]] = {}
+        for module in sorted(index.summaries):
+            summary = index.summaries[module]
+            path = str(summary["path"])
+            try:
+                source = Path(path).read_text(encoding="utf-8-sig")
+                mtime = os.path.getmtime(path)
+            except OSError:
+                continue
+            files[path] = {
+                "sha": self._sha(source),
+                "mtime": mtime,
+                "summary": summary,
+            }
+        payload = {
+            "version": SUMMARY_VERSION,
+            "config": self.digest,
+            "files": files,
+        }
+        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        self.cache_path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )

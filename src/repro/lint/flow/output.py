@@ -1,0 +1,111 @@
+"""JSON and SARIF 2.1.0 rendering for lint findings."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from ..diagnostics import Diagnostic
+from ..rules import FLOW_RULE_CODES, RULES
+
+_TOOL_NAME = "repro-lint"
+_SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_catalogue() -> list[dict[str, Any]]:
+    entries: list[dict[str, Any]] = []
+    for rule in RULES:
+        entries.append(
+            {
+                "id": rule.name,
+                "name": rule.code,
+                "shortDescription": {"text": rule.name},
+            }
+        )
+    for name in sorted(FLOW_RULE_CODES):
+        entries.append(
+            {
+                "id": name,
+                "name": FLOW_RULE_CODES[name],
+                "shortDescription": {"text": name},
+            }
+        )
+    return entries
+
+
+def _diag_payload(diag: Diagnostic, baselined: bool) -> dict[str, Any]:
+    return {
+        "path": diag.path,
+        "line": diag.line,
+        "col": diag.col,
+        "rule": diag.rule,
+        "message": diag.message,
+        "baselined": baselined,
+    }
+
+
+def findings_json(
+    diagnostics: Sequence[Diagnostic],
+    baselined: Sequence[Diagnostic] = (),
+    limits: dict[str, int] | None = None,
+) -> str:
+    payload = {
+        "tool": _TOOL_NAME,
+        "findings": [
+            *(_diag_payload(d, False) for d in diagnostics),
+            *(_diag_payload(d, True) for d in baselined),
+        ],
+        "counts": {"new": len(diagnostics), "baselined": len(baselined)},
+        "limits": dict(limits) if limits else {},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_result(diag: Diagnostic, baselined: bool) -> dict[str, Any]:
+    return {
+        "ruleId": diag.rule,
+        "level": "warning" if baselined else "error",
+        "baselineState": "unchanged" if baselined else "new",
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.path.replace("\\", "/")},
+                    "region": {
+                        "startLine": max(diag.line, 1),
+                        "startColumn": diag.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def findings_sarif(
+    diagnostics: Sequence[Diagnostic],
+    baselined: Sequence[Diagnostic] = (),
+) -> str:
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": _rule_catalogue(),
+                    }
+                },
+                "results": [
+                    *(_sarif_result(d, False) for d in diagnostics),
+                    *(_sarif_result(d, True) for d in baselined),
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -296,7 +296,7 @@ class EventQueue:
             if pos >= n:
                 break
             entry = ready[pos]
-            if entry[0] != t0:  # repro-lint: allow=float-eq (exact same-timestamp batching; equality of scheduled times is semantic, not a tolerance check)
+            if entry[0] != t0:
                 break
         self._ready_pos = pos
         self._n_live -= n_popped
@@ -523,7 +523,7 @@ class LegacyEventQueue:
         if max_n is not None and max_n <= 0:
             return None
         n_popped = 0
-        while heap and heap[0][0] == t0:  # repro-lint: allow=float-eq (exact same-timestamp batching; equality of scheduled times is semantic, not a tolerance check)
+        while heap and heap[0][0] == t0:
             entry = heappop(heap)
             event: Event = entry[2]
             if event.cancelled:

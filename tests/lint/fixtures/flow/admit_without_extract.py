@@ -1,0 +1,12 @@
+"""Seeded bug: a path reaches admit_migrated with nothing extracted.
+
+When the conditional is false the admit call has no copy to admit —
+the automaton requires an extract on the same flow path.
+"""
+
+
+def flaky_admit(source: object, dest: object, session_id: int, fast: bool) -> None:
+    item = None
+    if fast:
+        item = source.store.extract(session_id)
+    dest.store.admit_migrated(session_id)

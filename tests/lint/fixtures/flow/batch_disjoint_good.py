@@ -1,0 +1,21 @@
+"""Good variant: handlers touching disjoint state commute freely."""
+
+
+class ArrivalCounter:
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: object) -> None:
+        self.engine = engine
+
+    def __call__(self) -> None:
+        self.engine.n_arrivals = self.engine.n_arrivals + 1
+
+
+class DepartureCounter:
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: object) -> None:
+        self.engine = engine
+
+    def __call__(self) -> None:
+        self.engine.n_departures = self.engine.n_departures + 1

@@ -1,0 +1,25 @@
+"""Seeded bug: two same-timestamp handlers write the same attribute.
+
+Whichever fires last wins — intra-batch dispatch order becomes
+observable program state.
+"""
+
+
+class BumpHandler:
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: object) -> None:
+        self.engine = engine
+
+    def __call__(self) -> None:
+        self.engine.pending_turns = 1
+
+
+class ResetHandler:
+    __slots__ = ("engine",)
+
+    def __init__(self, engine: object) -> None:
+        self.engine = engine
+
+    def __call__(self) -> None:
+        self.engine.pending_turns = 0

@@ -1,0 +1,10 @@
+"""Seeded bug: an extracted copy reaches function exit unaccounted.
+
+Neither admitted, discarded, loss-recorded nor handed off — the one
+copy of the session's KV is silently dropped on the floor.
+"""
+
+
+def forgetful(source: object, session_id: int) -> int:
+    item = source.store.extract(session_id)
+    return 0

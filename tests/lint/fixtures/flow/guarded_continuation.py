@@ -1,0 +1,30 @@
+"""Good variant: the continuation compares epochs before mutating."""
+
+
+class GuardedSaveDone:
+    __slots__ = ("engine", "epoch", "session_id")
+
+    def __init__(self, engine: object, epoch: int, session_id: int) -> None:
+        self.engine = engine
+        self.epoch = epoch
+        self.session_id = session_id
+
+    def __call__(self) -> None:
+        engine = self.engine
+        if engine._epoch == self.epoch:
+            engine._on_save_block_done(self.session_id)
+
+
+class EarlyReturnSaveDone:
+    __slots__ = ("engine", "epoch", "session_id")
+
+    def __init__(self, engine: object, epoch: int, session_id: int) -> None:
+        self.engine = engine
+        self.epoch = epoch
+        self.session_id = session_id
+
+    def __call__(self) -> None:
+        engine = self.engine
+        if engine._epoch != self.epoch:
+            return
+        engine._on_save_block_done(self.session_id)

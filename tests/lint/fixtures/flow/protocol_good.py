@@ -1,0 +1,21 @@
+"""Good variant: the full migration shape the cluster layer uses.
+
+Extract, None-check early return, lossy-transfer accounting in the
+except arm, admit on success — every path accounts for the copy.
+"""
+
+
+class TransferError(Exception):
+    pass
+
+
+def migrate(source: object, dest: object, link: object, session_id: int) -> None:
+    item = source.store.extract(session_id)
+    if item is None:
+        return
+    try:
+        done = link.transfer(item.n_bytes)
+    except TransferError:
+        source.store.record_migration_loss()
+        return
+    dest.store.admit_migrated(item, ready_at=done)

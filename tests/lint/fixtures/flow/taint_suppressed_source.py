@@ -1,0 +1,14 @@
+"""Good variant: the wall-clock source carries a justified suppression.
+
+Silence propagates — callers of the vouched helper must not be flagged.
+"""
+
+import time
+
+
+def _profiling_now() -> float:
+    return time.time()  # repro-lint: allow=wall-clock (fixture: observability-only timestamp, never enters simulated state)
+
+
+def annotate(label: str) -> tuple[str, float]:
+    return (label, _profiling_now())

@@ -1,0 +1,19 @@
+"""Seeded bug: wall clock laundered through a helper function.
+
+The per-file linter flags only the ``time.time()`` line; the flow pass
+must flag every transitive call site of the helper.
+"""
+
+import time
+
+
+def _now() -> float:
+    return time.time()
+
+
+def step(clock: float) -> float:
+    return _now() + clock
+
+
+def schedule(deadline: float) -> float:
+    return step(deadline)

@@ -1,0 +1,19 @@
+"""Seeded bug: a continuation stores an epoch slot but fires unguarded.
+
+After a crash bumps the engine epoch, this stale continuation would
+mutate post-restart state — exactly the bug class the epoch-guard
+verifier exists for.
+"""
+
+
+class UnguardedSaveDone:
+    __slots__ = ("engine", "epoch", "session_id")
+
+    def __init__(self, engine: object, epoch: int, session_id: int) -> None:
+        self.engine = engine
+        self.epoch = epoch
+        self.session_id = session_id
+
+    def __call__(self) -> None:
+        engine = self.engine
+        engine._on_save_block_done(self.session_id)

@@ -1,0 +1,12 @@
+"""Seeded bug: the same session is extracted twice on one flow path.
+
+``extract`` hands over the *only* copy; a second extract before the
+first is admitted/discarded violates the exactly-one-copy protocol.
+"""
+
+
+def migrate_twice(source: object, dest: object, session_id: int) -> None:
+    item = source.store.extract(session_id)
+    other = source.store.extract(session_id)
+    dest.store.admit_migrated(item)
+    dest.store.admit_migrated(other)

@@ -39,6 +39,70 @@ class TestMapping:
         with pytest.raises(TypeError):
             config_from_mapping({"disable": "float-eq"})
 
+    def test_unknown_rule_in_disable_named_loudly(self):
+        """A typo in ``disable`` must fail naming the offender, not leave
+        the misspelled rule silently enforcing."""
+        with pytest.raises(KeyError, match="flaot-eq"):
+            config_from_mapping({"disable": ["float-eq", "flaot-eq"]})
+
+    def test_flow_rule_names_are_disableable(self):
+        cfg = config_from_mapping({"disable": ["batch-race", "epoch-guard"]})
+        assert cfg.disable == frozenset({"batch-race", "epoch-guard"})
+
+
+class TestRuleOptions:
+    def test_valid_rule_options(self):
+        cfg = config_from_mapping(
+            {"rule-options": {"batch-race": {"ignore-attrs": ["engine.stats"]}}}
+        )
+        assert cfg.options_for("batch-race") == {
+            "ignore-attrs": ["engine.stats"]
+        }
+        assert cfg.options_for("epoch-guard") == {}
+
+    def test_unknown_rule_name_rejected(self):
+        with pytest.raises(KeyError, match="no-such-rule"):
+            config_from_mapping({"rule-options": {"no-such-rule": {}}})
+
+    def test_unknown_option_key_rejected(self):
+        with pytest.raises(KeyError, match="max-pahts"):
+            config_from_mapping(
+                {"rule-options": {"store-protocol": {"max-pahts": 5}}}
+            )
+
+    def test_rule_without_declared_options_accepts_none(self):
+        with pytest.raises(KeyError, match="accepts no options"):
+            config_from_mapping({"rule-options": {"wall-clock": {"x": 1}}})
+
+    def test_option_table_must_be_table(self):
+        with pytest.raises(TypeError):
+            config_from_mapping({"rule-options": {"batch-race": "nope"}})
+
+
+class TestFlowOptions:
+    def test_defaults(self):
+        cfg = config_from_mapping({})
+        assert cfg.flow.baseline == "lint-flow-baseline.json"
+        assert cfg.flow.max_paths == 256
+
+    def test_overrides(self):
+        cfg = config_from_mapping(
+            {"flow": {"baseline": "b.json", "max-paths": 8, "cache": ""}}
+        )
+        assert cfg.flow.baseline == "b.json"
+        assert cfg.flow.max_paths == 8
+        assert cfg.flow.cache is None
+
+    def test_unknown_flow_key_rejected(self):
+        with pytest.raises(KeyError, match="cachepath"):
+            config_from_mapping({"flow": {"cachepath": "x"}})
+
+    def test_max_paths_must_be_positive_int(self):
+        with pytest.raises(TypeError):
+            config_from_mapping({"flow": {"max-paths": 0}})
+        with pytest.raises(TypeError):
+            config_from_mapping({"flow": {"max-paths": True}})
+
 
 class TestScope:
     def test_in_scope_exact_and_nested(self):

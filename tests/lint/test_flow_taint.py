@@ -1,0 +1,114 @@
+"""Transitive determinism taint: propagation, chains, suppression flow."""
+
+from __future__ import annotations
+
+from flow_helpers import analyze_sources
+
+WALL_HELPER = '''
+import time
+
+
+def _now() -> float:
+    return time.time()
+
+
+def caller() -> float:
+    return _now()
+
+
+def transitive() -> float:
+    return caller()
+'''
+
+
+def _rules(findings: list) -> list[str]:
+    return [f.rule for f in findings]
+
+
+class TestPropagation:
+    def test_helper_flagged_at_every_transitive_call_site(self) -> None:
+        findings = analyze_sources({"mod": WALL_HELPER})
+        flow = [f for f in findings if f.rule == "flow-wall-clock"]
+        assert [f.scope for f in flow] == ["mod:caller", "mod:transitive"]
+
+    def test_chain_and_origin_in_message(self) -> None:
+        findings = analyze_sources({"mod": WALL_HELPER})
+        deep = next(f for f in findings if f.scope == "mod:transitive")
+        assert "time.time()" in deep.message
+        assert "mod.transitive -> mod.caller -> mod._now" in deep.message
+
+    def test_cross_module_propagation(self) -> None:
+        sources = {
+            "pkg.clock": (
+                "import time\n\n\ndef wall() -> float:\n"
+                "    return time.time()\n"
+            ),
+            "pkg.user": (
+                "from pkg.clock import wall\n\n\ndef tick() -> float:\n"
+                "    return wall()\n"
+            ),
+        }
+        findings = analyze_sources(sources)
+        scopes = [f.scope for f in findings if f.rule == "flow-wall-clock"]
+        assert scopes == ["pkg.user:tick"]
+
+    def test_unseeded_random_and_order_rules_map(self) -> None:
+        sources = {
+            "mod": (
+                "import random\n\n\ndef roll() -> float:\n"
+                "    return random.random()\n\n\ndef use() -> float:\n"
+                "    return roll()\n"
+            )
+        }
+        findings = analyze_sources(sources)
+        assert "flow-unseeded-random" in _rules(findings)
+
+    def test_recursion_terminates(self) -> None:
+        sources = {
+            "mod": (
+                "import time\n\n\ndef a() -> float:\n    return b()\n\n\n"
+                "def b() -> float:\n    return a() + time.time()\n"
+            )
+        }
+        findings = analyze_sources(sources)
+        assert any(f.rule == "flow-wall-clock" for f in findings)
+
+
+class TestSuppressionFlow:
+    def test_suppressed_source_silences_all_callers(self) -> None:
+        sources = {
+            "mod": (
+                "import time\n\n\ndef _now() -> float:\n"
+                "    return time.time()  # repro-lint: allow=wall-clock"
+                " (observability only)\n\n\ndef caller() -> float:\n"
+                "    return _now()\n"
+            )
+        }
+        assert analyze_sources(sources) == []
+
+    def test_call_site_suppression_blocks_that_edge_only(self) -> None:
+        sources = {
+            "mod": (
+                "import time\n\n\ndef _now() -> float:\n"
+                "    return time.time()\n\n\ndef vouched() -> float:\n"
+                "    return _now()  # repro-lint: allow=flow-wall-clock"
+                " (result discarded)\n\n\ndef naive() -> float:\n"
+                "    return _now()\n"
+            )
+        }
+        findings = analyze_sources(sources)
+        flow = [f for f in findings if f.rule == "flow-wall-clock"]
+        assert [f.scope for f in flow] == ["mod:naive"]
+
+    def test_call_site_suppression_stops_transitive_taint(self) -> None:
+        sources = {
+            "mod": (
+                "import time\n\n\ndef _now() -> float:\n"
+                "    return time.time()\n\n\ndef vouched() -> float:\n"
+                "    return _now()  # repro-lint: allow=flow-wall-clock"
+                " (boundary: value never enters simulated state)\n\n\n"
+                "def above() -> float:\n    return vouched()\n"
+            )
+        }
+        findings = analyze_sources(sources)
+        assert [f.scope for f in findings if f.rule == "flow-wall-clock"] == []
