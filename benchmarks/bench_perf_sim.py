@@ -520,6 +520,12 @@ def gates_section() -> dict:
     no_pl, by_buffer, _perfect, _load, _compute = fig19.compute()
     reductions = [1 - asyn / sync for _, sync, asyn, _ in fig20.compute()]
 
+    sharing = load_benchmark_module("bench_ext_sharing")
+    capacity = sharing.capacity_sweep(sharing.GATE_N)
+    share_ref = sharing.run_one(
+        sharing.GATE_N, 0.5, sharing.REFERENCE_DRAM_GIB, sharing=True
+    )
+
     trace = generate_trace(WorkloadSpec(n_sessions=GATE_SESSIONS, seed=42))
     start = time.perf_counter()
     result = build_engine().run(trace)
@@ -533,6 +539,9 @@ def gates_section() -> dict:
         "hit_rate": round(result.summary.hit_rate, 6),
         "events": result.events_processed,
         "events_per_s": round(result.events_processed / wall),
+        "sharing_sessions": sharing.GATE_N,
+        "sharing_hit_rate": round(share_ref.hit_rate, 6),
+        "sharing_capacity_ratio": round(capacity["capacity_ratio"], 6),
     }
 
 

@@ -10,6 +10,10 @@ checked-in ``BENCH_sim.json``:
   lengths must stay inside the baseline band (± tolerance).
 * **Replay hit rate** — a fixed 300-session CA replay's cache hit rate
   is deterministic; drift means a behavioural change slipped in.
+* **Sharing capacity** — the cross-session KV sharing figures
+  (``bench_ext_sharing``) are deterministic: the iso-hit-rate effective
+  capacity ratio must stay >=1.2x and near its baseline, and the
+  reference CA+share replay's hit rate must match.
 * **Events/s floor** — the same replay must process at least a generous
   fraction of the baseline host's events/s (catches order-of-magnitude
   hot-path regressions without flaking on slower CI machines).  The
@@ -99,6 +103,29 @@ def test_replay_hit_rate_matches_baseline(gates, gate_replay):
     assert abs(result.summary.hit_rate - gates["hit_rate"]) <= HIT_TOL, (
         result.summary.hit_rate,
         gates["hit_rate"],
+    )
+
+
+def test_sharing_capacity_gate(gates):
+    """The sharing-smoke CI lane: CA+share must keep its iso-hit-rate
+    effective-capacity advantage (>=1.2x) and match the baseline numbers
+    (both fully deterministic — fixed trace seed, DRAM-only store)."""
+    sharing = load_benchmark_module("bench_ext_sharing")
+    capacity = sharing.capacity_sweep(gates["sharing_sessions"])
+    assert capacity["capacity_ratio"] >= sharing.MIN_CAPACITY_RATIO, capacity
+    assert (
+        abs(capacity["capacity_ratio"] - gates["sharing_capacity_ratio"])
+        <= RATIO_TOL * gates["sharing_capacity_ratio"]
+    ), (capacity["capacity_ratio"], gates["sharing_capacity_ratio"])
+    reference = sharing.run_one(
+        gates["sharing_sessions"],
+        0.5,
+        sharing.REFERENCE_DRAM_GIB,
+        sharing=True,
+    )
+    assert abs(reference.hit_rate - gates["sharing_hit_rate"]) <= HIT_TOL, (
+        reference.hit_rate,
+        gates["sharing_hit_rate"],
     )
 
 

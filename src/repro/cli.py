@@ -16,6 +16,7 @@ Examples::
     python -m repro.cli workload --sessions 500 --out trace.json
     python -m repro.cli run --trace trace.json --model llama-13b
     python -m repro.cli run --sessions 300 --fault-profile chaos
+    python -m repro.cli run --sessions 300 --share-ratio 0.5
     python -m repro.cli run --sessions 300 --instances 4 --router affinity
     python -m repro.cli run --sessions 300 --instances 3 \
         --fault-profile chaos-cluster --sanitize
@@ -67,6 +68,11 @@ from .runner import SweepPoint, run_sweep
 from .sim.loop import Simulator
 from .workload import Trace, WorkloadSpec, generate_trace
 
+#: Prefix-template length behind ``--share-ratio`` (tokens).  One CLI
+#: knob keeps the demo surface small; scripts that need a different
+#: length or template pool build a WorkloadSpec directly.
+DEFAULT_SHARE_PREFIX_LEN = 512
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -75,16 +81,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_sharing_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--share-ratio",
+            type=float,
+            default=0.0,
+            help="fraction of sessions whose first turn starts with a "
+            f"fleet-shared prefix template ({DEFAULT_SHARE_PREFIX_LEN} "
+            "tokens; served via content-addressed shared KV blocks)",
+        )
+
     wl = sub.add_parser("workload", help="generate a synthetic trace")
     wl.add_argument("--sessions", type=int, default=1000)
     wl.add_argument("--arrival-rate", type=float, default=1.0)
     wl.add_argument("--seed", type=int, default=2024)
     wl.add_argument("--out", type=Path, required=True)
+    add_sharing_args(wl)
 
     def add_serving_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--trace", type=Path, help="trace JSON (else synthesised)")
         p.add_argument("--sessions", type=int, default=500)
         p.add_argument("--seed", type=int, default=2024)
+        add_sharing_args(p)
         p.add_argument(
             "--model",
             default="llama-13b",
@@ -277,11 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _sharing_fields(args: argparse.Namespace) -> dict:
+    """WorkloadSpec overrides for ``--share-ratio`` (empty at ratio 0,
+    so share-free invocations build the exact pre-sharing spec)."""
+    ratio = getattr(args, "share_ratio", 0.0)
+    if ratio <= 0:
+        return {}
+    return {
+        "shared_prefix_fraction": ratio,
+        "shared_prefix_len": DEFAULT_SHARE_PREFIX_LEN,
+    }
+
+
 def _load_trace(args: argparse.Namespace) -> Trace:
     if args.trace is not None:
         return Trace.load(args.trace)
     return generate_trace(
-        WorkloadSpec(n_sessions=args.sessions, seed=args.seed)
+        WorkloadSpec(
+            n_sessions=args.sessions, seed=args.seed, **_sharing_fields(args)
+        )
     )
 
 
@@ -422,6 +454,7 @@ def cmd_workload(args: argparse.Namespace) -> int:
             n_sessions=args.sessions,
             arrival_rate=args.arrival_rate,
             seed=args.seed,
+            **_sharing_fields(args),
         )
     )
     trace.save(args.out)

@@ -388,15 +388,27 @@ class ClusterEngine:
         if self.router.name is not RouterName.AFFINITY and not force:
             source.store.discard_stale(session_id)
             return
+        # A shared-prefix session migrates its *reference*: the suffix item
+        # moves, and the prefix travels with it only when the target does
+        # not already hold a block for the same content hash (the whole
+        # point of content addressing — the second migration is free).
+        shared = source.store.shared_ref_of(session_id)
         item = source.store.extract(session_id)
         if item is None:
             return
+        shared_hash: str | None = None
+        shared_tokens = 0
+        move_bytes = item.n_bytes
+        if shared is not None:
+            shared_hash, shared_tokens = shared
+            if not target.store.has_shared(shared_hash):
+                move_bytes += source.store.item_bytes(shared_tokens)
         now = self.sim.now
         link: Channel | ChannelPair = self.net
         if item.tier is Tier.DISK:
             link = ChannelPair(source.ssd, self.net)
         try:
-            done = link.transfer(now, item.n_bytes)
+            done = link.transfer(now, move_bytes)
         except FaultyTransfer:
             # The migrating copy is lost in transit; the next turn
             # recomputes its history at the target (graceful degradation).
@@ -415,7 +427,7 @@ class ClusterEngine:
                     "from": source.name,
                     "to": target.name,
                     "tokens": item.n_tokens,
-                    "bytes": item.n_bytes,
+                    "bytes": move_bytes,
                 },
             )
         target.store.admit_migrated(
@@ -426,6 +438,8 @@ class ClusterEngine:
             position_decoupled=item.position_decoupled,
             queue=target.queue,
             pinned=target.active_sessions,
+            shared_hash=shared_hash,
+            shared_tokens=shared_tokens,
         )
 
     # ------------------------------------------------------------------

@@ -124,6 +124,11 @@ class StoreConfig:
     block_bytes: int = 16 * MiB
     policy: EvictionPolicyName = EvictionPolicyName.SCHEDULER_AWARE
     enable_prefetch: bool = True
+    # Cross-session KV sharing: content-addressed copy-on-write prefix
+    # blocks.  When enabled, prefix-bearing sessions save their shared
+    # prefix once per content hash and later sessions reuse it; has no
+    # effect on workloads without shared prefixes.
+    enable_sharing: bool = True
     # Per-session time-to-live (Section 4.3.6).  None disables expiry; the
     # paper's end-to-end runs are capacity-bound, with the TTL exercised
     # only in the cache-capacity study (Figure 23).

@@ -35,8 +35,14 @@ from ..models import ModelSpec
 from ..sanitize import install_engine, sanitize_enabled
 from ..sim.channel import Channel, ChannelPair, FaultyTransfer
 from ..sim.loop import Simulator
-from ..store.attention_store import AttentionStore, LookupStatus, StoreStats
+from ..store.attention_store import (
+    AttentionStore,
+    LookupResult,
+    LookupStatus,
+    StoreStats,
+)
 from ..store.item import Tier
+from ..store.sharing import shared_prefix_hash
 from ..workload.trace import Conversation, Trace
 from .batching import ActiveJob, BatchState
 from .continuations import (
@@ -481,14 +487,37 @@ class ServingEngine:
             if self.store is not None:
                 # KV-cache truncation: keeps the cache valid only when the
                 # positions were decoupled at save time (Section 3.4).
+                # For a prefix-sharing session this is the copy-on-write
+                # point: the store forks any kept prefix tokens into the
+                # private item and releases the shared reference.
                 self.store.truncate(request.session_id, outcome.history_tokens)
+        if outcome.dropped_tokens and session.conversation.shared_prefix_tokens:
+            # Any truncation diverges the session from its shared prefix
+            # for good (histories only append; see SessionState).
+            session.shared_detached = True
 
         prompt = outcome.prompt_tokens
         reused = 0
+        shared_hit = 0
         load_time = 0.0
         turn_outcome = TurnOutcome.FIRST_TURN
+        shared_hash = self._shared_hash_of(session)
 
-        if request.turn_index > 0:
+        if request.turn_index == 0:
+            if shared_hash is not None:
+                assert self.store is not None
+                sh = self.store.lookup_shared(shared_hash, now)
+                if sh is not None:
+                    hit_tokens = min(sh.n_tokens, prompt)
+                    load = self._kv_load_time(sh.status, sh.ready_at, hit_tokens)
+                    if load is not None:
+                        # A first turn that skips its prefix: the only
+                        # outcome where turn 0 reuses KV.
+                        self.store.acquire_shared(shared_hash, request.session_id)
+                        reused = shared_hit = hit_tokens
+                        load_time = load
+                        turn_outcome = TurnOutcome.HIT_SHARED
+        else:
             turn_outcome = TurnOutcome.MISS
             if request.failover:
                 # The turn was interrupted by a replica crash and re-routed
@@ -504,18 +533,57 @@ class ServingEngine:
                     # served; this turn recomputes its history in full.
                     turn_outcome = TurnOutcome.FALLBACK_RECOMPUTE
                     self.store.stats.fallback_recomputes += 1
-                elif result.hit:
-                    reused = min(result.n_tokens, outcome.history_tokens)
-                    load = self._kv_load_time(result.status, result.ready_at, reused)
-                    if load is None:
-                        # The KV load failed past the retry budget (or the
-                        # SSD breaker is open): degrade to recompute.
-                        turn_outcome = TurnOutcome.FALLBACK_RECOMPUTE
-                        self.store.stats.fallback_recomputes += 1
-                        reused = 0
-                    else:
-                        turn_outcome = TurnOutcome.from_lookup(result.status)
-                        load_time = load
+                else:
+                    sh = (
+                        self.store.lookup_shared(shared_hash, now)
+                        if shared_hash is not None
+                        else None
+                    )
+                    if result.hit and shared_hash is not None and sh is None:
+                        # The private suffix survives but its prefix block
+                        # is gone: KV is only readable prefix-first, so
+                        # the suffix is unusable.  Drop it and recompute.
+                        self.store.drop(request.session_id)
+                        result = LookupResult(LookupStatus.MISS)
+                    if result.hit:
+                        extra = sh.n_tokens if sh is not None else 0
+                        reused = min(result.n_tokens + extra, outcome.history_tokens)
+                        shared_hit = min(extra, reused)
+                        private_part = reused - shared_hit
+                        load = self._kv_load_time(
+                            result.status, result.ready_at, private_part
+                        )
+                        shared_load = (
+                            self._kv_load_time(sh.status, sh.ready_at, shared_hit)
+                            if sh is not None and shared_hit
+                            else 0.0
+                        )
+                        if load is None or shared_load is None:
+                            # The KV load failed past the retry budget (or
+                            # the SSD breaker is open): degrade to recompute.
+                            turn_outcome = TurnOutcome.FALLBACK_RECOMPUTE
+                            self.store.stats.fallback_recomputes += 1
+                            reused = shared_hit = 0
+                        else:
+                            turn_outcome = TurnOutcome.from_lookup(result.status)
+                            # Private and shared loads overlap; contention
+                            # on a common channel is already serialised by
+                            # the channel model.
+                            load_time = max(load, shared_load)
+                            if shared_hit:
+                                self.store.acquire_shared(
+                                    shared_hash, request.session_id  # type: ignore[arg-type]
+                                )
+                    elif sh is not None:
+                        # Private miss, shared hit: the prefix alone is
+                        # still a partial skip of the recompute.
+                        hit_tokens = min(sh.n_tokens, outcome.history_tokens)
+                        load = self._kv_load_time(sh.status, sh.ready_at, hit_tokens)
+                        if load is not None:
+                            self.store.acquire_shared(shared_hash, request.session_id)
+                            reused = shared_hit = hit_tokens
+                            load_time = load
+                            turn_outcome = TurnOutcome.HIT_SHARED
 
         new_tokens = prompt - reused
         if request.failover:
@@ -560,6 +628,7 @@ class ServingEngine:
             ttft=duration,
             prefill_gpu_time=duration,
             dropped_tokens=outcome.dropped_tokens,
+            shared_hit_tokens=shared_hit,
         )
         job = ActiveJob(
             request=request,
@@ -616,6 +685,20 @@ class ServingEngine:
                     "exposed_s": exposed,
                 },
             )
+        if record.shared_hit_tokens > 0:
+            tracer.span(
+                "shared-hit",
+                "kv",
+                now,
+                now + load_time,
+                lane="kv-load",
+                track=track,
+                args={
+                    "session": request.session_id,
+                    "turn": request.turn_index,
+                    "shared_tokens": record.shared_hit_tokens,
+                },
+            )
         tracer.span(
             "prefill",
             "gpu",
@@ -667,6 +750,28 @@ class ServingEngine:
             self._start_decode_chunk(resume=resume)
         else:
             self._continue_prefill(job, remaining_slices, slice_duration)
+
+    def _shared_hash_of(self, session: SessionState) -> str | None:
+        """The session's shared-prefix content hash, or None when sharing
+        does not apply (no prefix, sharing disabled, diverged, no store,
+        or HBM-cache mode — whose saves retain the *full* history
+        privately, so deduplicating the prefix would double-count it)."""
+        conv = session.conversation
+        if (
+            conv.shared_prefix_tokens <= 0
+            or session.shared_detached
+            or self.store is None
+            or not self.store.config.enable_sharing
+            or self.store.config.hbm_cache_bytes > 0
+        ):
+            return None
+        if session.shared_hash is None:
+            session.shared_hash = shared_prefix_hash(
+                conv.shared_prefix_id,
+                conv.shared_prefix_tokens,
+                self.model.name,
+            )
+        return session.shared_hash
 
     def _kv_load_time(
         self, status: LookupStatus, ready_at: float, n_tokens: int
@@ -906,6 +1011,28 @@ class ServingEngine:
         total_tokens = record.prompt_tokens + record.generated_tokens
         decoupled = self.config.truncation is TruncationPolicyName.KV_DECOUPLED
 
+        # Shared-prefix dedup: a prefix-bearing session saves only the
+        # tokens *after* the prefix privately; the prefix itself lives
+        # once in the content-addressed index.  Registration is
+        # idempotent across the template's sessions; if no space can be
+        # made for the block, this session detaches and stores its full
+        # history privately like any other.
+        prefix_tokens = 0
+        shared_hash = self._shared_hash_of(session)
+        if shared_hash is not None:
+            conv = session.conversation
+            if self.store.register_shared(
+                shared_hash,
+                conv.shared_prefix_tokens,
+                now,
+                queue=self.queue,
+                pinned=self._active_sessions,
+            ):
+                self.store.acquire_shared(shared_hash, job.session_id)
+                prefix_tokens = conv.shared_prefix_tokens
+            else:
+                session.shared_detached = True
+
         if self.store.config.hbm_cache_bytes > 0:
             item = self.store.save_to_hbm_cache(
                 job.session_id,
@@ -917,7 +1044,7 @@ class ServingEngine:
         else:
             item = self.store.save(
                 job.session_id,
-                total_tokens,
+                total_tokens - prefix_tokens,
                 now,
                 queue=self.queue,
                 position_decoupled=decoupled,

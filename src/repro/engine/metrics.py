@@ -34,6 +34,10 @@ class TurnOutcome(str, Enum):
     HIT_HBM = "hit-hbm"
     HIT_DRAM = "hit-dram"
     HIT_DISK = "hit-disk"
+    #: The session's *private* history missed (or there was none beyond
+    #: the prefix) but the cross-session shared prefix block hit; the
+    #: reused tokens came from the content-addressed sharing index.
+    HIT_SHARED = "hit-shared"
     MISS = "miss"  # history existed but had to be recomputed
     # A cached history existed but could not be used — corrupt at lookup,
     # or its KV load failed past the retry budget — so the engine fell
@@ -52,7 +56,7 @@ class TurnOutcome(str, Enum):
 
     @property
     def is_hit(self) -> bool:
-        return self in (self.HIT_HBM, self.HIT_DRAM, self.HIT_DISK)
+        return self in (self.HIT_HBM, self.HIT_DRAM, self.HIT_DISK, self.HIT_SHARED)
 
 
 @dataclass(slots=True)
@@ -75,6 +79,9 @@ class TurnRecord:
     save_block_time: float = 0.0
     completion_time: float = 0.0
     dropped_tokens: int = 0  # context-window truncation this turn
+    #: Of ``reused_tokens``, how many came from a cross-session shared
+    #: prefix block rather than the session's private cache.
+    shared_hit_tokens: int = 0
     in_eval_window: bool = True
 
     @property
@@ -96,6 +103,9 @@ class RunSummary:
     hits_dram: int
     hits_disk: int
     hits_hbm: int
+    #: Turns served from a cross-session shared prefix block when the
+    #: private cache had nothing (or nothing beyond the prefix).
+    hits_shared: int
     misses: int
     #: Turns that fell back to full recompute because a cached history
     #: could not be used (corruption, failed KV load).  Counted in
@@ -108,6 +118,8 @@ class RunSummary:
     prompt_tokens_total: int
     new_tokens_total: int
     reused_tokens_total: int
+    #: Of ``reused_tokens_total``, tokens loaded from shared prefix blocks.
+    shared_reused_tokens_total: int
     generated_tokens_total: int
     prefill_gpu_time: float
     decode_gpu_time: float
@@ -126,7 +138,9 @@ class RunSummary:
         """Overall AttentionStore hit rate over lookups."""
         if self.n_lookups == 0:
             return 0.0
-        return (self.hits_dram + self.hits_disk + self.hits_hbm) / self.n_lookups
+        return (
+            self.hits_dram + self.hits_disk + self.hits_hbm + self.hits_shared
+        ) / self.n_lookups
 
     @property
     def dram_hit_rate(self) -> float:
@@ -187,6 +201,7 @@ class MetricsCollector:
         self._prompt_sum = 0
         self._new_sum = 0
         self._reused_sum = 0
+        self._shared_reused_sum = 0
         self._generated_sum = 0
         self._prefill_gpu_sum = 0.0
         self._decode_gpu_sum = 0.0
@@ -211,6 +226,7 @@ class MetricsCollector:
         self._prompt_sum += record.prompt_tokens
         self._new_sum += record.new_tokens
         self._reused_sum += record.reused_tokens
+        self._shared_reused_sum += record.shared_hit_tokens
         self._generated_sum += record.generated_tokens
         self._prefill_gpu_sum += record.prefill_gpu_time
         self._decode_gpu_sum += record.decode_gpu_share
@@ -282,6 +298,7 @@ class MetricsCollector:
                 merged._prompt_sum += collector._prompt_sum
                 merged._new_sum += collector._new_sum
                 merged._reused_sum += collector._reused_sum
+                merged._shared_reused_sum += collector._shared_reused_sum
                 merged._generated_sum += collector._generated_sum
                 merged._prefill_gpu_sum += collector._prefill_gpu_sum
                 merged._decode_gpu_sum += collector._decode_gpu_sum
@@ -335,6 +352,7 @@ class MetricsCollector:
             hits_dram=outcome_counts[TurnOutcome.HIT_DRAM],
             hits_disk=outcome_counts[TurnOutcome.HIT_DISK],
             hits_hbm=outcome_counts[TurnOutcome.HIT_HBM],
+            hits_shared=outcome_counts[TurnOutcome.HIT_SHARED],
             misses=outcome_counts[TurnOutcome.MISS],
             fallbacks=outcome_counts[TurnOutcome.FALLBACK_RECOMPUTE],
             mean_ttft=sum(r.ttft for r in evals) / n if n else 0.0,
@@ -345,6 +363,7 @@ class MetricsCollector:
             prompt_tokens_total=sum(r.prompt_tokens for r in evals),
             new_tokens_total=sum(r.new_tokens for r in evals),
             reused_tokens_total=sum(r.reused_tokens for r in evals),
+            shared_reused_tokens_total=sum(r.shared_hit_tokens for r in evals),
             generated_tokens_total=sum(r.generated_tokens for r in evals),
             prefill_gpu_time=sum(r.prefill_gpu_time for r in evals),
             decode_gpu_time=sum(r.decode_gpu_share for r in evals),
@@ -374,6 +393,7 @@ class MetricsCollector:
             hits_dram=counts[TurnOutcome.HIT_DRAM],
             hits_disk=counts[TurnOutcome.HIT_DISK],
             hits_hbm=counts[TurnOutcome.HIT_HBM],
+            hits_shared=counts[TurnOutcome.HIT_SHARED],
             misses=counts[TurnOutcome.MISS],
             fallbacks=counts[TurnOutcome.FALLBACK_RECOMPUTE],
             mean_ttft=self._ttft_sum / n if n else 0.0,
@@ -382,6 +402,7 @@ class MetricsCollector:
             prompt_tokens_total=self._prompt_sum,
             new_tokens_total=self._new_sum,
             reused_tokens_total=self._reused_sum,
+            shared_reused_tokens_total=self._shared_reused_sum,
             generated_tokens_total=self._generated_sum,
             prefill_gpu_time=self._prefill_gpu_sum,
             decode_gpu_time=self._decode_gpu_sum,

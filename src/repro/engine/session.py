@@ -26,6 +26,15 @@ class SessionState:
     history_tokens: int = 0
     truncated_tokens_total: int = 0
     overflow_events: int = 0
+    #: Content hash of the conversation's shared prefix, computed lazily
+    #: by the engine on the first prefill of a prefix-bearing session.
+    shared_hash: str | None = None
+    #: True once the session has *diverged* from its shared prefix
+    #: (context-window truncation rewrote the history): its KV no longer
+    #: starts with the shared block, so sharing is off for good —
+    #: histories only ever append, truncation is the only divergence
+    #: point, and divergence is sticky.
+    shared_detached: bool = False
     #: The session's reusable think-time timer (at most one is pending per
     #: session), created at the first turn completion and rescheduled for
     #: every later gap.  Excluded from comparison/repr: scheduling plumbing,

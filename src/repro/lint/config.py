@@ -41,6 +41,9 @@ DEFAULT_CLUSTER_PACKAGES = ("repro.cluster",)
 #: migration API of AttentionStore (plus ``discard_stale`` /
 #: ``record_migration_loss``, the bookkeeping half of the same contract,
 #: and ``decommission``, the drain-time release of whatever remains).
+#: ``has_shared``/``shared_ref_of``/``item_bytes`` are the read-only
+#: shared-prefix half: the cluster consults them to size a migration's
+#: wire transfer and skip prefix bytes the target already holds.
 DEFAULT_STORE_MIGRATION_API = frozenset(
     {
         "extract",
@@ -48,6 +51,9 @@ DEFAULT_STORE_MIGRATION_API = frozenset(
         "discard_stale",
         "record_migration_loss",
         "decommission",
+        "has_shared",
+        "shared_ref_of",
+        "item_bytes",
     }
 )
 

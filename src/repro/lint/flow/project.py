@@ -47,10 +47,14 @@ from ..rules import (
 
 #: Bump when the summary schema or extraction logic changes; invalidates
 #: every cache entry.
-SUMMARY_VERSION = 3
+SUMMARY_VERSION = 4
 
 #: The store's exactly-one-copy lifecycle methods (paper §3.3 plus the
-#: failure domain of DESIGN.md §11).
+#: failure domain of DESIGN.md §11).  The shared-prefix ops participate
+#: only in the terminal check: touching shared blocks on a wiped or
+#: decommissioned store is as much a lifecycle violation as extracting
+#: from one.  Per-session items keep exactly-one-copy; shared blocks are
+#: exactly one *owning* copy per content hash per store (DESIGN.md §15).
 PROTOCOL_OPS = frozenset(
     {
         "extract",
@@ -60,6 +64,9 @@ PROTOCOL_OPS = frozenset(
         "restore_offline",
         "discard_stale",
         "record_migration_loss",
+        "register_shared",
+        "acquire_shared",
+        "release_shared",
     }
 )
 

@@ -13,7 +13,11 @@ lifecycle automaton along each:
   lossy/stale way;
 * ``wipe_volatile`` and ``decommission`` are terminal for their store —
   any later protocol op on the same receiver is use-after-terminal
-  (``restore_offline`` legitimately revives a wiped store);
+  (``restore_offline`` legitimately revives a wiped store); the
+  shared-prefix ops (``register_shared``/``acquire_shared``/
+  ``release_shared``) participate only in this terminal check —
+  their refcount discipline is the store's own business, enforced by
+  ``check_invariants`` and SimSan, not by callers;
 * a copy that reaches a normal exit unaccounted — not admitted,
   discarded, loss-recorded, returned, or escaped into another call — is
   a leak of the one copy.

@@ -242,6 +242,9 @@ class SimSanitizer:
         "prefetch",
         "complete_fetch",
         "sweep_expired",
+        "register_shared",
+        "acquire_shared",
+        "release_shared",
     )
 
     def install_store(self, store: AttentionStore) -> None:
@@ -319,6 +322,12 @@ def check_exactly_one_copy(
 
     With ``session_id`` given, only that session is checked (the cheap
     post-migration probe); otherwise all resident sessions are scanned.
+
+    Shared prefix blocks live under *negative* pseudo session ids and are
+    exempt: the invariant for them is exactly one owning copy per content
+    hash *per store* (enforced by ``AttentionStore.check_invariants``) —
+    two replicas legitimately hold blocks for the same hash, which is how
+    a re-migrated session avoids re-shipping its prefix.
     """
     seen: dict[int, int] = {}
     for index, engine in enumerate(engines):
@@ -328,7 +337,7 @@ def check_exactly_one_copy(
         if session_id is not None:
             resident = [session_id] if store.get(session_id) is not None else []
         else:
-            resident = list(store.resident_sessions())
+            resident = [s for s in store.resident_sessions() if s >= 0]
         for sid in resident:
             if sid in seen:
                 raise SimSanError(

@@ -19,6 +19,7 @@ from .policy import (
     SchedulerAwarePolicy,
 )
 from .prefetch import PrefetchDecision, plan_prefetches
+from .sharing import SharedBlock, SharedLookup, shared_prefix_hash
 from .tier import StorageTier
 
 __all__ = [
@@ -37,9 +38,12 @@ __all__ = [
     "PrefetchDecision",
     "QueueView",
     "SchedulerAwarePolicy",
+    "SharedBlock",
+    "SharedLookup",
     "StorageTier",
     "StoreStats",
     "Tier",
     "make_policy",
     "plan_prefetches",
+    "shared_prefix_hash",
 ]

@@ -16,7 +16,12 @@ Responsibilities (Section 3 of the paper):
   (corrupt caches are never served — ``MISS_CORRUPT`` triggers a recompute
   fallback upstream), transient SSD failures are retried with capped
   exponential backoff, and a circuit breaker bypasses a sick SSD entirely
-  (DRAM-only operation with recovery probes).
+  (DRAM-only operation with recovery probes);
+* deduplicate *shared prefixes* across sessions (system prompts, few-shot
+  templates): content-addressed refcounted blocks stored under negative
+  pseudo session ids, pinned against eviction while referenced, forked
+  copy-on-write when a session's history diverges (see
+  :mod:`repro.store.sharing` and DESIGN.md §15).
 
 Transfer *timing* is modelled via the SSD channel passed in; the engine
 owns PCIe timing for HBM loads.
@@ -41,6 +46,7 @@ from .policy import (
     QueueView,
     SchedulerAwarePolicy,
 )
+from .sharing import SharedBlock, SharedLookup
 from .tier import StorageTier
 
 if TYPE_CHECKING:
@@ -103,6 +109,16 @@ class StoreStats:
     # Replica-lifecycle counters (zero unless crashes are scheduled):
     restart_readmissions: int = 0
     restart_discards: int = 0
+    # Shared-prefix counters (zero unless the workload carries prefixes):
+    shared_registered: int = 0
+    shared_hits: int = 0
+    shared_misses: int = 0
+    shared_acquires: int = 0
+    shared_releases: int = 0
+    cow_forks: int = 0
+    shared_register_failures: int = 0
+    shared_orphan_discards: int = 0
+    shared_adoptions: int = 0
 
 
 def make_policy(
@@ -171,9 +187,19 @@ class AttentionStore:
         # a prefetched session returns with one extra turn appended).
         self._disk_written_tokens: dict[int, int] = {}
         # SSD items parked by wipe_volatile() while the replica is down:
-        # (item, disk_written_tokens) pairs, off the store's books until
-        # restore_offline() re-admits them.
-        self._offline: list[tuple[KVCacheItem, int]] = []
+        # (item, disk_written_tokens, shared prefix hash or None) triples,
+        # off the store's books until restore_offline() re-admits them.
+        self._offline: list[tuple[KVCacheItem, int, str | None]] = []
+        # Cross-session shared prefix blocks (content-addressed, COW).
+        # The KV bytes live in the normal tiers as items keyed by negative
+        # pseudo ids; these maps only hold identity and references.  All
+        # four stay empty unless the workload carries shared prefixes, so
+        # every hot-path guard below is a falsy check.
+        self._shared: dict[str, SharedBlock] = {}
+        self._pseudo_to_hash: dict[int, str] = {}
+        self._shared_ref: dict[int, str] = {}
+        self._shared_pinned: set[int] = set()
+        self._next_pseudo_id = -1
         # Optional span tracer (repro.obs): installed from outside via
         # SpanTracer.attach_engine; pure observation of tier movement.
         self.tracer: "SpanTracer | None" = None
@@ -190,7 +216,8 @@ class AttentionStore:
 
     def resident_sessions(self) -> KeysView[int]:
         """Session ids with a cache resident in any tier (insertion order,
-        so iteration is deterministic)."""
+        so iteration is deterministic).  Negative ids are shared prefix
+        blocks' pseudo sessions, not real conversations."""
         return self._items.keys()
 
     def get(self, session_id: int) -> KVCacheItem | None:
@@ -418,12 +445,21 @@ class AttentionStore:
         return self.save(session_id, n_tokens, now, queue=queue, pinned=pinned)
 
     def drop(self, session_id: int) -> None:
-        """Remove a session's cache from the store entirely."""
+        """Remove a session's cache from the store entirely.
+
+        A shared-prefix reference held by the session is released (the
+        session can re-acquire it by content hash on its next turn); a
+        *pseudo* id drops the shared block itself.
+        """
+        if self._shared_ref:
+            self._release_ref(session_id)
         self._disk_written_tokens.pop(session_id, None)
         item = self._items.pop(session_id, None)
         if item is not None:
             self._tier_of(item).remove(session_id)
             self._total_item_bytes -= item.n_bytes
+            if session_id < 0:
+                self._unregister_shared(session_id)
 
     def invalidate(self, session_id: int) -> None:
         """Mark a session's cache unusable (OF baseline after truncation)."""
@@ -435,11 +471,46 @@ class AttentionStore:
     def truncate(self, session_id: int, keep_tokens: int) -> bool:
         """Apply KV-cache truncation to a stored item (Section 3.4).
 
-        Keeps the most recent ``keep_tokens`` tokens.  Succeeds only when
-        the item was saved with decoupled positional encodings; otherwise
-        the item is invalidated and dropped, and False is returned.
+        Keeps the most recent ``keep_tokens`` tokens (counted over the
+        session's *full* history — shared prefix included when the session
+        holds a reference).  Succeeds only when the item was saved with
+        decoupled positional encodings; otherwise the item is invalidated
+        and dropped, and False is returned.
+
+        Copy-on-write: a session referencing a shared prefix that
+        truncates is a *writer diverging* from the prefix.  Its reference
+        is always released (readers keep the shared block untouched); any
+        still-kept prefix tokens are forked into the session's private
+        item, growing it in place.
         """
         item = self._items.get(session_id)
+        shared_hash = self._shared_ref.get(session_id) if self._shared_ref else None
+        if shared_hash is not None:
+            # Divergence is unconditional: even a truncation that keeps
+            # the whole prefix rewrites the session's token positions, so
+            # the content hash no longer describes its history.
+            block = self._shared[shared_hash]
+            self._release_ref(session_id)
+            if item is not None and item.position_decoupled and keep_tokens > 0:
+                private = item.n_tokens
+                target = min(keep_tokens, block.n_tokens + private)
+                if target > private:
+                    # Fork: absorb the kept prefix tokens as a private copy.
+                    new_bytes = self.item_bytes(target)
+                    try:
+                        self._tier_of(item).resize(session_id, target, new_bytes)
+                    except OutOfBlocksError:
+                        self.drop(session_id)
+                        return False
+                    self._total_item_bytes += new_bytes - self.item_bytes(private)
+                    if item.tier is Tier.DISK:
+                        # Modelling shortcut: the forked prefix bytes are
+                        # accounted as already spilled with the item.
+                        self._disk_written_tokens[session_id] = target
+                    self.stats.cow_forks += 1
+                    self.stats.truncations += 1
+                    return True
+                keep_tokens = target
         if item is None:
             return False
         if not item.position_decoupled:
@@ -485,7 +556,14 @@ class AttentionStore:
         through the SSD link first).  Items that could not be served anyway
         (invalid, lost, corrupt) are dropped and None is returned —
         migrating them would only ship garbage across the network.
+
+        A shared-prefix reference is released here even when no private
+        item exists: the departing session no longer reads this store.
+        The *block* stays — content addressing means the target re-links
+        by hash (``admit_migrated``) rather than shipping an owner record.
         """
+        if self._shared_ref:
+            self._release_ref(session_id)
         item = self._items.get(session_id)
         if item is None:
             return None
@@ -508,6 +586,11 @@ class AttentionStore:
         (counted as a scatter drop).
         """
         if session_id not in self._items:
+            # No item, but a shared-prefix reference may still be held
+            # (e.g. acquired at prefill with the suffix not yet saved) —
+            # release it so the departed session cannot pin a block here.
+            if self._shared_ref:
+                self._release_ref(session_id)
             return False
         self.drop(session_id)
         self.stats.scatter_drops += 1
@@ -521,6 +604,10 @@ class AttentionStore:
         (finished sessions' KV no future turn will read).  Returns the
         number of items dropped.
         """
+        # Release every shared-prefix reference first so no block is
+        # dropped while references to it are still outstanding.
+        for sid in list(self._shared_ref):
+            self._release_ref(sid)
         sessions = list(self._items)
         for session_id in sessions:
             self.drop(session_id)
@@ -544,6 +631,8 @@ class AttentionStore:
         position_decoupled: bool = True,
         queue: QueueView = _EMPTY_QUEUE,
         pinned: AbstractSet[int] = frozenset(),
+        shared_hash: str | None = None,
+        shared_tokens: int = 0,
     ) -> KVCacheItem | None:
         """Admit a cache migrated from a peer store into DRAM.
 
@@ -551,6 +640,13 @@ class AttentionStore:
         inter-host transfer completes at ``ready_at`` — a DRAM hit before
         then waits, exactly like an in-flight prefetch.  Counted as a
         migration, not a fresh save.
+
+        When the migrating session referenced a shared prefix on the
+        source, ``shared_hash``/``shared_tokens`` re-link it here: an
+        already-resident block is re-used (the dedup bandwidth win — the
+        cluster skips the prefix bytes on the wire), otherwise the
+        shipped prefix is registered as this store's owning copy
+        (counted as a shared adoption).
         """
         item = self.save(
             session_id,
@@ -564,7 +660,190 @@ class AttentionStore:
             item.dram_ready_at = ready_at
             self.stats.migrations_in += 1
             self.stats.saves -= 1
+            if shared_hash is not None and shared_tokens > 0:
+                known = shared_hash in self._shared
+                if self.register_shared(
+                    shared_hash, shared_tokens, now, queue=queue, pinned=pinned
+                ):
+                    self.acquire_shared(shared_hash, session_id)
+                    if not known:
+                        self.stats.shared_adoptions += 1
+                        # The adopted prefix bytes ride the same modelled
+                        # inter-host transfer as the private suffix.
+                        block = self._shared[shared_hash]
+                        self._items[block.pseudo_id].dram_ready_at = ready_at
         return item
+
+    # ------------------------------------------------------------------
+    # Shared prefix blocks (content-addressed, copy-on-write)
+    # ------------------------------------------------------------------
+    def register_shared(
+        self,
+        content_hash: str,
+        n_tokens: int,
+        now: float,
+        queue: QueueView = _EMPTY_QUEUE,
+        pinned: AbstractSet[int] = frozenset(),
+    ) -> bool:
+        """Admit (or confirm) this store's owning copy of a shared prefix.
+
+        Idempotent: a hash already registered returns True without any
+        admission work, which is what makes the call safe on every save
+        of a prefix-bearing session.  A fresh registration stores the
+        prefix KV as an ordinary DRAM item under a negative pseudo id —
+        it competes for capacity with private items, can be demoted to
+        disk once unreferenced, and obeys every byte-conservation
+        invariant.  Returns False when DRAM space cannot be made (the
+        sessions simply keep recomputing their prefix — a capacity
+        signal, not an error).
+        """
+        if content_hash in self._shared:
+            return True
+        if n_tokens <= 0:
+            raise ValueError(f"n_tokens must be positive, got {n_tokens}")
+        n_bytes = self.item_bytes(n_tokens)
+        if n_bytes > self.dram_tier.capacity_bytes or not self._make_dram_space(
+            n_bytes, queue, now, pinned
+        ):
+            self.stats.shared_register_failures += 1
+            return False
+        pseudo_id = self._next_pseudo_id
+        self._next_pseudo_id -= 1
+        item = KVCacheItem(
+            session_id=pseudo_id,
+            n_tokens=n_tokens,
+            n_bytes=n_bytes,
+            tier=Tier.DRAM,
+            allocation=None,  # type: ignore[arg-type]  # set by admit()
+            position_decoupled=True,
+            created_at=now,
+            last_access=now,
+        )
+        self.dram_tier.admit(item)
+        self._items[pseudo_id] = item
+        self._total_item_bytes += n_bytes
+        self._shared[content_hash] = SharedBlock(
+            content_hash=content_hash, pseudo_id=pseudo_id, n_tokens=n_tokens
+        )
+        self._pseudo_to_hash[pseudo_id] = content_hash
+        self.stats.shared_registered += 1
+        if self.tracer is not None:
+            self._trace_occupancy(now)
+        return True
+
+    def lookup_shared(self, content_hash: str, now: float) -> SharedLookup | None:
+        """Probe for a shared prefix by content hash; None on miss.
+
+        A hit refreshes the block's LRU position and reports the tier it
+        resides in, so the engine prices the load exactly like a private
+        hit (DRAM waits for an in-flight transfer, disk pays the SSD
+        path).  An unreferenced block whose TTL lapsed is dropped here,
+        same as a private item.
+        """
+        block = self._shared.get(content_hash)
+        if block is None:
+            self.stats.shared_misses += 1
+            return None
+        item = self._items[block.pseudo_id]
+        if item.expired(now, self.config.ttl_seconds) and block.refcount == 0:
+            self.stats.expired += 1
+            self._drop_item(item)
+            self.stats.shared_misses += 1
+            return None
+        item.touch(now)
+        self._tiers[item.tier].touch(block.pseudo_id)
+        self.stats.shared_hits += 1
+        return SharedLookup(
+            status=_STATUS_BY_TIER[item.tier],
+            n_tokens=item.n_tokens,
+            n_bytes=item.n_bytes,
+            ready_at=item.dram_ready_at if item.tier is Tier.DRAM else 0.0,
+        )
+
+    def acquire_shared(self, content_hash: str, session_id: int) -> bool:
+        """Take (or keep) a session's reference on a shared block.
+
+        Idempotent per (session, hash); a session switching hashes
+        releases its previous reference first.  While any reference is
+        live the block is pinned: exempt from eviction and TTL.
+        """
+        block = self._shared.get(content_hash)
+        if block is None:
+            return False
+        prev = self._shared_ref.get(session_id)
+        if prev == content_hash:
+            return True
+        if prev is not None:
+            self._release_ref(session_id)
+        self._shared_ref[session_id] = content_hash
+        block.refcount += 1
+        self._shared_pinned.add(block.pseudo_id)
+        self.stats.shared_acquires += 1
+        return True
+
+    def release_shared(self, session_id: int) -> bool:
+        """Drop a session's shared-prefix reference (True if one existed).
+
+        At refcount zero the block is *not* dropped — it stays resident
+        and becomes an ordinary eviction/TTL victim, so a late-arriving
+        session with the same prefix can still hit it.
+        """
+        return self._release_ref(session_id)
+
+    def _release_ref(self, session_id: int) -> bool:
+        content_hash = self._shared_ref.pop(session_id, None)
+        if content_hash is None:
+            return False
+        block = self._shared.get(content_hash)
+        if block is not None:
+            block.refcount -= 1
+            if block.refcount <= 0:
+                self._shared_pinned.discard(block.pseudo_id)
+        self.stats.shared_releases += 1
+        return True
+
+    def _unregister_shared(self, pseudo_id: int) -> None:
+        """Forget a shared block whose pseudo item left the store."""
+        content_hash = self._pseudo_to_hash.pop(pseudo_id, None)
+        if content_hash is not None:
+            del self._shared[content_hash]
+            self._shared_pinned.discard(pseudo_id)
+            # Pinning keeps referenced blocks out of eviction, but an
+            # explicit drop of the pseudo id must not strand references
+            # to the departed hash (sessions re-register on next save).
+            for sid in [
+                s for s, h in self._shared_ref.items() if h == content_hash
+            ]:
+                del self._shared_ref[sid]
+                self.stats.shared_releases += 1
+
+    def has_shared(self, content_hash: str) -> bool:
+        """Whether this store holds an owning copy of ``content_hash``
+        (migration API: lets the cluster skip prefix bytes on the wire)."""
+        return content_hash in self._shared
+
+    def shared_ref_of(self, session_id: int) -> tuple[str, int] | None:
+        """The ``(content_hash, prefix_tokens)`` a session references, or
+        None (migration API: consulted before extracting a session)."""
+        content_hash = self._shared_ref.get(session_id)
+        if content_hash is None:
+            return None
+        return content_hash, self._shared[content_hash].n_tokens
+
+    @property
+    def shared_block_count(self) -> int:
+        """Number of registered shared prefix blocks."""
+        return len(self._shared)
+
+    @property
+    def shared_dedup_bytes(self) -> int:
+        """Bytes saved by deduplication: what the referencing sessions
+        would collectively store privately, minus the one shared copy."""
+        saved = 0
+        for block in self._shared.values():
+            if block.refcount > 1:
+                saved += (block.refcount - 1) * self.item_bytes(block.n_tokens)
+        return saved
 
     # ------------------------------------------------------------------
     # Eviction
@@ -590,6 +869,10 @@ class AttentionStore:
             # No eviction needed — skip the policy-window sync, which only
             # feeds victim selection.  The common case: most saves fit.
             return dram.can_fit(n_bytes)
+        if self._shared_pinned:
+            # Referenced shared blocks are exempt from eviction until
+            # their refcount drops to zero.
+            pinned = pinned | self._shared_pinned
         self._sync_policy_window()
         guard = len(dram) + 1
         while dram.free_bytes < target_free and guard > 0:
@@ -613,6 +896,8 @@ class AttentionStore:
         """Move one item DRAM -> disk, evicting from disk if needed."""
         if self.disk_tier.capacity_bytes == 0:
             return False
+        if self._shared_pinned and not pinned >= self._shared_pinned:
+            pinned = pinned | self._shared_pinned
         guard = len(self.disk_tier) + 1
         while not self.disk_tier.can_fit(item.n_bytes) and guard > 0:
             guard -= 1
@@ -658,10 +943,15 @@ class AttentionStore:
         return True
 
     def _drop_item(self, item: KVCacheItem) -> None:
-        self._disk_written_tokens.pop(item.session_id, None)
-        self._tier_of(item).remove(item.session_id)
-        del self._items[item.session_id]
+        sid = item.session_id
+        if self._shared_ref:
+            self._release_ref(sid)
+        self._disk_written_tokens.pop(sid, None)
+        self._tier_of(item).remove(sid)
+        del self._items[sid]
         self._total_item_bytes -= item.n_bytes
+        if sid < 0:
+            self._unregister_shared(sid)
 
     def _trace_occupancy(self, now: float) -> None:
         """Sample per-tier occupancy into the tracer (one "C" event)."""
@@ -739,7 +1029,25 @@ class AttentionStore:
         and :meth:`extract` returns None for the whole downtime) and held
         on a side list for :meth:`restore_offline`.  Returns the
         ``(lost, parked)`` item counts.
+
+        Shared prefixes: every session reference dies with the crash (the
+        sessions fail over and re-link by content hash wherever they land).
+        DRAM-resident shared blocks are lost like any volatile item;
+        disk-resident ones park offline carrying their content hash, as do
+        private items of referencing sessions — at restore, a private
+        suffix whose prefix block did not survive is useless and is
+        discarded (KV is only readable prefix-first).
         """
+        # Capture hash links before the refs are torn down, so parked
+        # items can be re-linked (or orphan-discarded) at restore.
+        parked_hash: dict[int, str] = {}
+        if self._shared_ref:
+            for sid, content_hash in self._shared_ref.items():
+                item = self._items.get(sid)
+                if item is not None and item.tier is Tier.DISK:
+                    parked_hash[sid] = content_hash
+            for sid in list(self._shared_ref):
+                self._release_ref(sid)
         volatile = [
             item for item in self._items.values() if item.tier is not Tier.DISK
         ]
@@ -748,12 +1056,18 @@ class AttentionStore:
         self.stats.lost_items += len(volatile)
         parked = list(self.disk_tier.iter_fifo())
         for item in parked:
-            written = self._disk_written_tokens.pop(item.session_id, 0)
-            self.disk_tier.remove(item.session_id)
-            del self._items[item.session_id]
+            sid = item.session_id
+            written = self._disk_written_tokens.pop(sid, 0)
+            self.disk_tier.remove(sid)
+            del self._items[sid]
             self._total_item_bytes -= item.n_bytes
             item.fetch_in_flight = False
-            self._offline.append((item, written))
+            if sid < 0:
+                content_hash: str | None = self._pseudo_to_hash.get(sid)
+                self._unregister_shared(sid)
+            else:
+                content_hash = parked_hash.get(sid)
+            self._offline.append((item, written, content_hash))
         if self.tracer is not None:
             self._trace_occupancy(now)
         return len(volatile), len(parked)
@@ -769,10 +1083,52 @@ class AttentionStore:
         the exactly-one-copy invariant holds across the restart.
         Re-admitted items count TTL from the restart, not from their
         pre-crash access.  Returns ``(readmitted, discarded)`` counts.
+
+        Shared blocks restore first (the ``keep`` predicate does not apply
+        to them: pseudo ids belong to no session, and the "exactly one
+        owning copy per content hash" invariant is per-store, so re-owning
+        here is always legal — unless a fresh copy of the same hash was
+        registered during the downtime, in which case the live copy wins).
+        Private items restore second so a surviving prefix can be
+        re-linked; a private suffix whose parked prefix hash is no longer
+        resident is discarded as an orphan.
         """
         readmitted = discarded = 0
         parked, self._offline = self._offline, []
-        for item, written in parked:
+
+        def _readmit(item: KVCacheItem, written: int) -> bool:
+            try:
+                self.disk_tier.admit(item)
+            except OutOfBlocksError:
+                # Should not happen (the wipe emptied the disk tier), but
+                # degrade to a discard rather than crash the restart.
+                return False
+            self._items[item.session_id] = item
+            self._total_item_bytes += item.n_bytes
+            if written:
+                self._disk_written_tokens[item.session_id] = written
+            item.touch(now)
+            return True
+
+        for item, written, content_hash in parked:
+            if item.session_id >= 0:
+                continue
+            assert content_hash is not None
+            if content_hash in self._shared or not _readmit(item, written):
+                self.stats.restart_discards += 1
+                discarded += 1
+                continue
+            self._shared[content_hash] = SharedBlock(
+                content_hash=content_hash,
+                pseudo_id=item.session_id,
+                n_tokens=item.n_tokens,
+            )
+            self._pseudo_to_hash[item.session_id] = content_hash
+            self.stats.restart_readmissions += 1
+            readmitted += 1
+        for item, written, content_hash in parked:
+            if item.session_id < 0:
+                continue
             if keep is not None and not keep(item.session_id):
                 self.stats.restart_discards += 1
                 discarded += 1
@@ -783,19 +1139,18 @@ class AttentionStore:
                 self.stats.restart_discards += 1
                 discarded += 1
                 continue
-            try:
-                self.disk_tier.admit(item)
-            except OutOfBlocksError:
-                # Should not happen (the wipe emptied the disk tier), but
-                # degrade to a discard rather than crash the restart.
+            if content_hash is not None and content_hash not in self._shared:
+                # Orphan: the suffix is unreadable without its prefix.
+                self.stats.shared_orphan_discards += 1
                 self.stats.restart_discards += 1
                 discarded += 1
                 continue
-            self._items[item.session_id] = item
-            self._total_item_bytes += item.n_bytes
-            if written:
-                self._disk_written_tokens[item.session_id] = written
-            item.touch(now)
+            if not _readmit(item, written):
+                self.stats.restart_discards += 1
+                discarded += 1
+                continue
+            if content_hash is not None:
+                self.acquire_shared(content_hash, item.session_id)
             self.stats.restart_readmissions += 1
             readmitted += 1
         if parked and self.tracer is not None:
@@ -947,10 +1302,13 @@ class AttentionStore:
     # ------------------------------------------------------------------
     def sweep_expired(self, now: float) -> int:
         """Drop all items whose TTL has lapsed; return how many."""
+        pinned = self._shared_pinned
         expired = [
             item
             for item in self._items.values()
-            if item.expired(now, self.config.ttl_seconds) and not item.fetch_in_flight
+            if item.expired(now, self.config.ttl_seconds)
+            and not item.fetch_in_flight
+            and item.session_id not in pinned
         ]
         for item in expired:
             self._drop_item(item)
@@ -970,7 +1328,12 @@ class AttentionStore:
           other tier;
         * per-tier used bytes never exceed capacity;
         * delta-write-back state refers only to stored sessions and never
-          exceeds the item's token count.
+          exceeds the item's token count;
+        * shared-prefix bookkeeping is closed: every registered block's
+          pseudo item is resident, refcounts equal the live references,
+          and the pinned set is exactly the referenced blocks (at most
+          one owning copy per content hash follows from ``_shared`` being
+          keyed by hash).
 
         Raises:
             AssertionError: on any violation.
@@ -1015,7 +1378,43 @@ class AttentionStore:
                 f"session {session_id}: disk_written_tokens {written} > "
                 f"n_tokens {item.n_tokens}"
             )
-        for item, _written in self._offline:
+        for item, _written, _hash in self._offline:
             assert item.session_id not in self._items, (
                 f"session {item.session_id} both resident and parked offline"
             )
+        assert len(self._shared) == len(self._pseudo_to_hash), (
+            "shared block index and pseudo-id map out of sync"
+        )
+        refs_by_hash: dict[str, int] = {}
+        for session_id, content_hash in self._shared_ref.items():
+            assert session_id >= 0, (
+                f"pseudo id {session_id} holds a shared reference"
+            )
+            assert content_hash in self._shared, (
+                f"session {session_id} references unknown hash {content_hash}"
+            )
+            refs_by_hash[content_hash] = refs_by_hash.get(content_hash, 0) + 1
+        pinned_expected = set()
+        for content_hash, block in self._shared.items():
+            assert self._pseudo_to_hash.get(block.pseudo_id) == content_hash, (
+                f"shared block {content_hash[:12]} pseudo-id link broken"
+            )
+            item = self._items.get(block.pseudo_id)
+            assert item is not None, (
+                f"shared block {content_hash[:12]} has no resident item"
+            )
+            assert item.n_tokens == block.n_tokens, (
+                f"shared block {content_hash[:12]}: item holds "
+                f"{item.n_tokens} tokens, block records {block.n_tokens}"
+            )
+            assert block.refcount == refs_by_hash.get(content_hash, 0), (
+                f"shared block {content_hash[:12]}: refcount "
+                f"{block.refcount} != live references "
+                f"{refs_by_hash.get(content_hash, 0)}"
+            )
+            if block.refcount > 0:
+                pinned_expected.add(block.pseudo_id)
+        assert self._shared_pinned == pinned_expected, (
+            f"pinned set {self._shared_pinned} != referenced blocks "
+            f"{pinned_expected}"
+        )

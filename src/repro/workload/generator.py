@@ -77,14 +77,22 @@ def generate_trace(
     think_times = rng.lognormal(
         mean=spec.think_time_mu, sigma=spec.think_time_sigma, size=total_turns
     )
+    # Shared-prefix draws come *after* every pre-existing draw and only
+    # when sharing is on: a share-free spec consumes the exact same RNG
+    # stream as before the knob existed (bit-identical traces).
+    shared_flags, prefix_ids = _draw_shared_prefixes(rng, spec, n)
 
     conversations: list[Conversation] = []
     cursor = 0
     for session_id in range(n):
         k = int(turn_counts[session_id])
+        prefix_tokens = (
+            spec.shared_prefix_len if bool(shared_flags[session_id]) else 0
+        )
         turns = tuple(
             Turn(
-                q_tokens=int(q_lengths[cursor + j]),
+                q_tokens=int(q_lengths[cursor + j])
+                + (prefix_tokens if j == 0 else 0),
                 a_tokens=int(a_lengths[cursor + j]),
                 think_time=0.0 if j == 0 else float(think_times[cursor + j]),
             )
@@ -96,19 +104,41 @@ def generate_trace(
                 session_id=session_id,
                 arrival_time=float(arrivals[session_id]),
                 turns=turns,
+                shared_prefix_id=int(prefix_ids[session_id]) if prefix_tokens else 0,
+                shared_prefix_tokens=prefix_tokens,
             )
         )
 
-    return Trace(
-        conversations=conversations,
-        metadata={
-            "generator": "repro.workload.generator",
-            "n_sessions": spec.n_sessions,
-            "arrival_rate": spec.arrival_rate,
-            "arrival_process": type(arrival_process).__name__,
-            "seed": spec.seed,
-        },
-    )
+    metadata = {
+        "generator": "repro.workload.generator",
+        "n_sessions": spec.n_sessions,
+        "arrival_rate": spec.arrival_rate,
+        "arrival_process": type(arrival_process).__name__,
+        "seed": spec.seed,
+    }
+    if spec.shared_prefix_fraction > 0:
+        metadata["shared_prefix_fraction"] = spec.shared_prefix_fraction
+        metadata["shared_prefix_len"] = spec.shared_prefix_len
+        metadata["n_shared_prefixes"] = spec.n_shared_prefixes
+    return Trace(conversations=conversations, metadata=metadata)
+
+
+def _draw_shared_prefixes(
+    rng: np.random.Generator, spec: WorkloadSpec, n: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Which sessions share a prefix, and which template each one uses.
+
+    The prefix tokens are *added on top of* the drawn first-turn question
+    length (a template prepends to whatever the user asks), so the
+    non-prefix draws are untouched and remain comparable across share
+    ratios.  With sharing off this consumes no RNG at all.
+    """
+    if spec.shared_prefix_fraction <= 0:
+        zeros = np.zeros(n, dtype=np.int64)
+        return zeros, zeros
+    shared_flags = rng.random(n) < spec.shared_prefix_fraction
+    prefix_ids = rng.integers(0, spec.n_shared_prefixes, size=n)
+    return shared_flags, prefix_ids
 
 
 #: Sessions drawn per block by :func:`stream_trace`.  Large enough that
@@ -193,12 +223,20 @@ def stream_trace(
         think_times = rng.lognormal(
             mean=spec.think_time_mu, sigma=spec.think_time_sigma, size=total_turns
         )
+        # Appended after all pre-existing draws and gated on the knob —
+        # full-block-sized like everything else, so the substream position
+        # (hence prefix stability) is preserved.
+        shared_flags, prefix_ids = _draw_shared_prefixes(
+            rng, spec, block_sessions
+        )
         cursor = 0
         for i in range(block_n):
             k = int(turn_counts[i])
+            prefix_tokens = spec.shared_prefix_len if bool(shared_flags[i]) else 0
             turns = tuple(
                 Turn(
-                    q_tokens=int(q_lengths[cursor + j]),
+                    q_tokens=int(q_lengths[cursor + j])
+                    + (prefix_tokens if j == 0 else 0),
                     a_tokens=int(a_lengths[cursor + j]),
                     think_time=0.0 if j == 0 else float(think_times[cursor + j]),
                 )
@@ -209,5 +247,7 @@ def stream_trace(
                 session_id=session_id,
                 arrival_time=float(arrivals[i]),
                 turns=turns,
+                shared_prefix_id=int(prefix_ids[i]) if prefix_tokens else 0,
+                shared_prefix_tokens=prefix_tokens,
             )
             session_id += 1

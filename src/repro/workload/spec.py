@@ -62,6 +62,14 @@ class WorkloadSpec:
         think_time_mean: mean user think time between turns, seconds.
         think_time_sigma: lognormal sigma of the think time.
         seed: RNG seed for reproducible traces.
+        shared_prefix_fraction: fraction of sessions whose first turn
+            starts with a fleet-shared prefix (system prompt / few-shot
+            template / RAG preamble).  0 disables sharing entirely and
+            generates byte-identical traces to a spec without the knob.
+        shared_prefix_len: tokens in each shared prefix template, added
+            on top of the drawn first-turn question length.
+        n_shared_prefixes: number of distinct prefix templates the
+            sharing sessions draw from (uniformly).
     """
 
     n_sessions: int = 9000
@@ -74,6 +82,9 @@ class WorkloadSpec:
     think_time_mean: float = 60.0
     think_time_sigma: float = 0.8
     seed: int = 2024
+    shared_prefix_fraction: float = 0.0
+    shared_prefix_len: int = 0
+    n_shared_prefixes: int = 1
 
     def __post_init__(self) -> None:
         if self.n_sessions <= 0:
@@ -98,6 +109,24 @@ class WorkloadSpec:
         if self.think_time_mean <= 0:
             raise ValueError(
                 f"think_time_mean must be positive, got {self.think_time_mean}"
+            )
+        if not (0.0 <= self.shared_prefix_fraction <= 1.0):
+            raise ValueError(
+                "shared_prefix_fraction must be in [0, 1], got "
+                f"{self.shared_prefix_fraction}"
+            )
+        if self.shared_prefix_len < 0:
+            raise ValueError(
+                f"shared_prefix_len must be >= 0, got {self.shared_prefix_len}"
+            )
+        if self.shared_prefix_fraction > 0 and self.shared_prefix_len == 0:
+            raise ValueError(
+                "shared_prefix_fraction > 0 requires a positive "
+                "shared_prefix_len"
+            )
+        if self.n_shared_prefixes < 1:
+            raise ValueError(
+                f"n_shared_prefixes must be >= 1, got {self.n_shared_prefixes}"
             )
 
     @property

@@ -56,17 +56,43 @@ class Conversation:
         session_id: unique identifier within the trace.
         arrival_time: simulated wall-clock second when turn 0 arrives.
         turns: the conversation's turns in order.
+        shared_prefix_id: which fleet-shared prefix template the first
+            turn starts with (meaningful only with a positive
+            ``shared_prefix_tokens``).
+        shared_prefix_tokens: leading tokens of turn 0's question that are
+            identical across every session using the same template —
+            already *included* in ``turns[0].q_tokens``, never added on
+            top.  0 means the session shares nothing.
     """
 
     session_id: int
     arrival_time: float
     turns: tuple[Turn, ...]
+    shared_prefix_id: int = 0
+    shared_prefix_tokens: int = 0
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
             raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
         if not self.turns:
             raise ValueError("a conversation needs at least one turn")
+        if self.shared_prefix_id < 0:
+            raise ValueError(
+                f"shared_prefix_id must be >= 0, got {self.shared_prefix_id}"
+            )
+        if self.shared_prefix_tokens < 0:
+            raise ValueError(
+                "shared_prefix_tokens must be >= 0, got "
+                f"{self.shared_prefix_tokens}"
+            )
+        if 0 < self.shared_prefix_tokens and (
+            self.shared_prefix_tokens >= self.turns[0].q_tokens
+        ):
+            raise ValueError(
+                f"shared_prefix_tokens {self.shared_prefix_tokens} must leave "
+                f"at least one private token in turn 0's "
+                f"{self.turns[0].q_tokens}-token question"
+            )
 
     @property
     def n_turns(self) -> int:
@@ -121,33 +147,42 @@ class Trace:
 
     def to_json(self) -> str:
         """Serialise the trace to a JSON string."""
-        payload = {
-            "metadata": self.metadata,
-            "conversations": [
-                {
-                    "session_id": c.session_id,
-                    "arrival_time": c.arrival_time,
-                    "turns": [
-                        [t.q_tokens, t.a_tokens, t.think_time] for t in c.turns
-                    ],
-                }
-                for c in self.conversations
-            ],
-        }
+        conversations = []
+        for c in self.conversations:
+            entry: dict = {
+                "session_id": c.session_id,
+                "arrival_time": c.arrival_time,
+                "turns": [
+                    [t.q_tokens, t.a_tokens, t.think_time] for t in c.turns
+                ],
+            }
+            if c.shared_prefix_tokens > 0:
+                # Emitted only when set, so share-free traces serialise
+                # byte-identically to the pre-sharing schema.
+                entry["shared_prefix"] = [
+                    c.shared_prefix_id,
+                    c.shared_prefix_tokens,
+                ]
+            conversations.append(entry)
+        payload = {"metadata": self.metadata, "conversations": conversations}
         return json.dumps(payload)
 
     @classmethod
     def from_json(cls, text: str) -> "Trace":
         """Parse a trace previously produced by :meth:`to_json`."""
         payload = json.loads(text)
-        conversations = [
-            Conversation(
-                session_id=c["session_id"],
-                arrival_time=c["arrival_time"],
-                turns=tuple(Turn(q, a, think) for q, a, think in c["turns"]),
+        conversations = []
+        for c in payload["conversations"]:
+            prefix_id, prefix_tokens = c.get("shared_prefix", (0, 0))
+            conversations.append(
+                Conversation(
+                    session_id=c["session_id"],
+                    arrival_time=c["arrival_time"],
+                    turns=tuple(Turn(q, a, think) for q, a, think in c["turns"]),
+                    shared_prefix_id=prefix_id,
+                    shared_prefix_tokens=prefix_tokens,
+                )
             )
-            for c in payload["conversations"]
-        ]
         return cls(conversations=conversations, metadata=payload.get("metadata", {}))
 
     def save(self, path: str | Path) -> None:
@@ -169,6 +204,8 @@ def merge_traces(traces: Iterable[Trace]) -> Trace:
                     session_id=next_id,
                     arrival_time=conv.arrival_time,
                     turns=conv.turns,
+                    shared_prefix_id=conv.shared_prefix_id,
+                    shared_prefix_tokens=conv.shared_prefix_tokens,
                 )
             )
             next_id += 1

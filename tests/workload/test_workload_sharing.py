@@ -1,0 +1,158 @@
+"""Shared-prefix fields of the workload generator and trace schema.
+
+The sharing knobs must be strictly additive: a share-free spec draws the
+exact same trace as before the knobs existed (bit-identical RNG
+consumption), serialises to the pre-sharing JSON schema, and the prefix
+tokens ride on top of the drawn first-turn question length so the
+non-prefix draws stay comparable across share ratios.
+"""
+
+import pytest
+
+from repro.workload import (
+    Conversation,
+    Trace,
+    Turn,
+    WorkloadSpec,
+    generate_trace,
+    stream_trace,
+)
+
+SPEC = WorkloadSpec(
+    n_sessions=200,
+    seed=13,
+    shared_prefix_fraction=0.5,
+    shared_prefix_len=100,
+    n_shared_prefixes=3,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(SPEC)
+
+
+class TestGeneration:
+    def test_fraction_of_sessions_carry_a_prefix(self, trace):
+        shared = [c for c in trace if c.shared_prefix_tokens > 0]
+        # Bernoulli(0.5) over 200 sessions: far from both extremes.
+        assert 0.3 * len(trace) < len(shared) < 0.7 * len(trace)
+        assert all(
+            c.shared_prefix_tokens == SPEC.shared_prefix_len for c in shared
+        )
+
+    def test_prefix_ids_span_the_template_pool(self, trace):
+        ids = {c.shared_prefix_id for c in trace if c.shared_prefix_tokens}
+        assert ids <= set(range(SPEC.n_shared_prefixes))
+        assert len(ids) == SPEC.n_shared_prefixes
+
+    def test_prefix_rides_on_turn_zero_question(self, trace):
+        """Prefix tokens are added on top of the drawn q length, so turn
+        0's question always exceeds the prefix (the engine needs at least
+        one private token after the shared block)."""
+        for c in trace:
+            if c.shared_prefix_tokens:
+                assert c.turns[0].q_tokens > c.shared_prefix_tokens
+
+    def test_non_prefix_draws_unchanged_by_sharing(self, trace):
+        """Same seed, sharing off: every conversation matches modulo the
+        prefix bolted onto turn 0 — the knob never perturbs base draws."""
+        from dataclasses import replace
+
+        plain = generate_trace(
+            replace(
+                SPEC,
+                shared_prefix_fraction=0.0,
+                shared_prefix_len=0,
+                n_shared_prefixes=1,
+            )
+        )
+        assert len(plain) == len(trace)
+        for a, b in zip(plain, trace):
+            assert a.arrival_time == b.arrival_time
+            assert a.n_turns == b.n_turns
+            assert a.turns[0].q_tokens == (
+                b.turns[0].q_tokens - b.shared_prefix_tokens
+            )
+            assert a.turns[1:] == b.turns[1:]
+
+    def test_metadata_records_sharing_knobs(self, trace):
+        assert trace.metadata["shared_prefix_fraction"] == 0.5
+        assert trace.metadata["shared_prefix_len"] == 100
+        assert trace.metadata["n_shared_prefixes"] == 3
+
+    def test_share_free_trace_bit_identical_to_pre_knob(self):
+        """fraction=0 consumes no RNG: identical object graph AND
+        identical serialised bytes to a spec that never mentions
+        sharing."""
+        with_knob = generate_trace(
+            WorkloadSpec(n_sessions=80, seed=4, shared_prefix_fraction=0.0)
+        )
+        without = generate_trace(WorkloadSpec(n_sessions=80, seed=4))
+        assert with_knob.conversations == without.conversations
+        assert with_knob.to_json() == without.to_json()
+        assert "shared_prefix_fraction" not in with_knob.metadata
+
+
+class TestSerialisation:
+    def test_round_trip_preserves_prefix_fields(self, trace):
+        back = Trace.from_json(trace.to_json())
+        assert back.conversations == trace.conversations
+        assert back.metadata == trace.metadata
+
+    def test_share_free_json_omits_prefix_key(self):
+        plain = generate_trace(WorkloadSpec(n_sessions=20, seed=2))
+        assert "shared_prefix" not in plain.to_json()
+
+    def test_prefix_key_only_on_prefix_sessions(self, trace):
+        import json
+
+        payload = json.loads(trace.to_json())
+        by_id = {c.session_id: c for c in trace}
+        for entry in payload["conversations"]:
+            conv = by_id[entry["session_id"]]
+            if conv.shared_prefix_tokens:
+                assert entry["shared_prefix"] == [
+                    conv.shared_prefix_id,
+                    conv.shared_prefix_tokens,
+                ]
+            else:
+                assert "shared_prefix" not in entry
+
+    def test_prefix_must_leave_private_tokens(self):
+        with pytest.raises(ValueError, match="shared_prefix_tokens"):
+            Conversation(
+                session_id=0,
+                arrival_time=0.0,
+                turns=(Turn(q_tokens=50, a_tokens=10, think_time=0.0),),
+                shared_prefix_id=0,
+                shared_prefix_tokens=50,
+            )
+
+
+class TestStreaming:
+    def test_stream_draws_prefixes_like_the_generator(self):
+        """Streamed draws carry the same prefix schema as generate_trace:
+        the spec'd fraction (within Bernoulli noise), the spec'd length,
+        ids from the template pool, and prefix tokens on turn 0 only."""
+        streamed = list(stream_trace(SPEC, block_sessions=64))
+        shared = [c for c in streamed if c.shared_prefix_tokens > 0]
+        assert 0.3 * len(streamed) < len(shared) < 0.7 * len(streamed)
+        for c in shared:
+            assert c.shared_prefix_tokens == SPEC.shared_prefix_len
+            assert 0 <= c.shared_prefix_id < SPEC.n_shared_prefixes
+            assert c.turns[0].q_tokens > c.shared_prefix_tokens
+
+    def test_prefix_stable_across_stream_lengths(self):
+        """Prefix assignment is per-session stable: a short stream is a
+        prefix of a longer one, shared flags and template ids included."""
+        from dataclasses import replace
+
+        short = list(
+            stream_trace(replace(SPEC, n_sessions=90), block_sessions=32)
+        )
+        long_ = list(
+            stream_trace(replace(SPEC, n_sessions=180), block_sessions=32)
+        )
+        assert short == long_[:90]
+        assert any(c.shared_prefix_tokens for c in short)
